@@ -1,0 +1,43 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every benchmark regenerates one paper table/figure from the simulators,
+prints it, writes it under ``benchmarks/out/`` and asserts the paper-shape
+properties (who wins, roughly by what factor, where crossovers fall — see
+EXPERIMENTS.md for the paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.report import Series, format_table
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a FigureData and persist it as a text artifact."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(data, *, extra: str = "") -> str:
+        series = list(data.series) + [
+            Series(data.baseline_label, data.baseline_times)
+        ]
+        table = format_table(list(data.labels), series)
+        text = f"== {data.figure} ==\n{table}\n"
+        if extra:
+            text += extra + "\n"
+        path = OUT_DIR / f"{data.figure.replace('[', '_').replace(']', '').replace(',', '_')}.txt"
+        path.write_text(text)
+        print("\n" + text)
+        return text
+
+    return _emit
+
+
+def assert_monotone_decreasing(values, *, tolerance: float = 0.0):
+    for a, b in zip(values, values[1:]):
+        assert b <= a * (1 + tolerance), f"expected monotone sequence, got {values}"

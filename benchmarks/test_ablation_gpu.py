@@ -1,0 +1,59 @@
+"""GPU ablations: each Sec. 4.3 memory optimization, toggled individually.
+
+The paper motivates four mechanisms (coalesced global access, shared-
+memory access reordering, register double buffering, in-place epilogue);
+each must individually improve the modeled kernel time on representative
+ResNet-50 layers, and their combination must dominate any single one.
+"""
+
+from conftest import OUT_DIR
+
+from repro.gpu.pipelinemodel import conv_time
+from repro.gpu.tiling import TilingParams
+from repro.models import resnet50_conv_layers
+
+LAYERS = [s for s in resnet50_conv_layers() if s.name in
+          ("conv2", "conv6", "conv16")]
+TILE = TilingParams(64, 64, 32, 16, 2, 2)
+
+KNOBS = {
+    "coalesced": "coalesced global access",
+    "reorder_smem": "smem access reordering (Fig. 5)",
+    "double_buffer": "register double buffer (Fig. 6)",
+    "in_place_epilogue": "in-place bias+requant",
+}
+
+
+def test_each_optimization_helps(benchmark):
+    def run():
+        rows = []
+        for spec in LAYERS:
+            full = conv_time(spec, 8, TILE).total_cycles
+            for knob in KNOBS:
+                off = conv_time(spec, 8, TILE, **{knob: False}).total_cycles
+                rows.append((spec.name, knob, off / full))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["layer  optimization-off        slowdown vs all-on"]
+    helped = {k: False for k in KNOBS}
+    for name, knob, ratio in rows:
+        lines.append(f"{name:>6}  {KNOBS[knob]:<32} {ratio:.3f}x")
+        assert ratio >= 1.0 - 1e-9
+        if ratio > 1.01:
+            helped[knob] = True
+    # every mechanism matters on at least one representative layer
+    for knob, ok in helped.items():
+        assert ok, f"{knob} never mattered — model is degenerate"
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "ablation_gpu_memory.txt").write_text("\n".join(lines))
+    print("\n" + "\n".join(lines))
+
+
+def test_all_off_is_worst():
+    for spec in LAYERS:
+        full = conv_time(spec, 8, TILE).total_cycles
+        none = conv_time(spec, 8, TILE, coalesced=False, reorder_smem=False,
+                         double_buffer=False, in_place_epilogue=False
+                         ).total_cycles
+        assert none > full * 1.5

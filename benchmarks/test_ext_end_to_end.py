@@ -1,0 +1,51 @@
+"""Extension bench: end-to-end network estimates (the paper's future work).
+
+Prices all 52 quantized ResNet-50 convolutions as full pipelines on both
+simulated platforms, fused and unfused, across bit widths — the network-
+level composition of the paper's per-layer results.
+"""
+
+from conftest import OUT_DIR
+
+from repro.models.resnet50 import resnet50_all_conv_layers
+from repro.runtime.network import estimate_model_cycles
+
+
+def test_end_to_end_resnet50(benchmark):
+    layers = resnet50_all_conv_layers()[1:]  # stem stays fp32
+
+    def run():
+        out = {}
+        for backend, bits_list in (("arm", (2, 4, 8)), ("gpu", (4, 8))):
+            for bits in bits_list:
+                for fused in (False, True):
+                    rep = estimate_model_cycles(layers, bits, backend,
+                                                fused=fused)
+                    out[(backend, bits, fused)] = rep
+        return out
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["backend  bits  fused  total ms  kernels"]
+    for (backend, bits, fused), rep in sorted(reports.items()):
+        lines.append(f"{backend:>7}  {bits:>4}  {str(fused):>5}  "
+                     f"{rep.milliseconds():8.2f}  {rep.kernel_launches:>7}")
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "ext_end_to_end.txt").write_text("\n".join(lines))
+    print("\n" + "\n".join(lines))
+
+    # network level, the per-layer structure must survive composition:
+    arm = {b: reports[("arm", b, True)].total_cycles for b in (2, 4, 8)}
+    assert arm[2] < arm[4] < arm[8]
+    gpu = {b: reports[("gpu", b, True)].total_cycles for b in (4, 8)}
+    assert gpu[4] < gpu[8]
+    # fusion always helps, and much more on the launch-sensitive GPU
+    for backend, bits_list in (("arm", (2, 4, 8)), ("gpu", (4, 8))):
+        for bits in bits_list:
+            fused = reports[(backend, bits, True)].total_cycles
+            unfused = reports[(backend, bits, False)].total_cycles
+            assert fused < unfused
+    gpu_gain = (reports[("gpu", 8, False)].total_cycles
+                / reports[("gpu", 8, True)].total_cycles)
+    arm_gain = (reports[("arm", 8, False)].total_cycles
+                / reports[("arm", 8, True)].total_cycles)
+    assert gpu_gain > arm_gain

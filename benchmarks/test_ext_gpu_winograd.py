@@ -1,0 +1,47 @@
+"""Extension bench: winograd on the GPU — quantifying the road not taken.
+
+The paper implements winograd only on ARM (Sec. 3.4).  Priced on the same
+Turing model, the F(2x2,3x3) pipeline loses to the paper's implicit-GEMM
+tensor-core path on every eligible ResNet-50 layer (1.0x ~ 3.2x slower):
+the transform stages are bandwidth-bound and the transform-domain GEMMs
+(K = Cin) underfeed the tensor cores, while the 2.25x multiply saving
+matters little when multiplies are this cheap.
+"""
+
+from conftest import OUT_DIR
+
+from repro.gpu.winograd import gpu_winograd_time, winograd_vs_implicit
+from repro.models import resnet50_conv_layers
+
+
+def test_gpu_winograd_vs_implicit(benchmark):
+    layers = [s for s in resnet50_conv_layers() if s.is_winograd_eligible()]
+
+    def run():
+        rows = []
+        for spec in layers:
+            for batch in (1, 16):
+                r = winograd_vs_implicit(spec.with_batch(batch), 8)
+                rows.append((spec.name, batch, r))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["layer  batch  winograd us  implicit us  wino/implicit"]
+    for name, batch, r in rows:
+        lines.append(
+            f"{name:>6}  {batch:>5}  {r['winograd_cycles'] / 1545:11.1f}"
+            f"  {r['implicit_cycles'] / 1545:11.1f}"
+            f"  {r['winograd_over_implicit']:13.2f}"
+        )
+        assert r["winograd_over_implicit"] >= 0.95
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "ext_gpu_winograd.txt").write_text("\n".join(lines))
+    print("\n" + "\n".join(lines))
+
+
+def test_transform_share(benchmark):
+    layers = [s for s in resnet50_conv_layers() if s.is_winograd_eligible()]
+    perfs = benchmark(lambda: [gpu_winograd_time(s, 8) for s in layers])
+    for p in perfs:
+        tf = p.transform_in_cycles + p.transform_out_cycles
+        assert tf / p.total_cycles > 0.25  # transforms are never negligible

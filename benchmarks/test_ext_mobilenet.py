@@ -1,0 +1,49 @@
+"""Extension bench: MobileNetV1 — where GEMM-based low-bit conv stops
+paying.
+
+Depthwise layers reduce over K = 9 with one output channel per group: the
+re-designed GEMM's 16-row register tile is ~94% padding, so the low-bit
+speedups the paper reports on ResNet-family workloads collapse there,
+while the pointwise halves behave like ResNet 1x1 layers.  (This is why
+the paper's evaluation uses ResNet-50 / DenseNet-121 — and why real
+mobile runtimes special-case depthwise with direct kernels.)
+"""
+
+from conftest import OUT_DIR
+
+from repro.arm.conv_runner import ncnn_conv_cycles, time_arm_conv
+from repro.models import mobilenetv1_conv_layers
+from repro.models.mobilenetv1 import is_depthwise
+from repro.util import geomean
+
+
+def test_mobilenet_dw_vs_pw(benchmark):
+    layers = mobilenetv1_conv_layers()
+
+    def run():
+        rows = []
+        for spec in layers:
+            base = ncnn_conv_cycles(spec).total_cycles
+            ours = time_arm_conv(spec, 4).total_cycles
+            rows.append((spec, base / ours, spec.macs / ours))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["layer   kind  speedup-vs-ncnn  achieved MACs/cycle"]
+    dw_sp, pw_sp, dw_eff, pw_eff = [], [], [], []
+    for spec, sp, eff in rows:
+        kind = "dw" if is_depthwise(spec) else "pw"
+        (dw_sp if kind == "dw" else pw_sp).append(sp)
+        (dw_eff if kind == "dw" else pw_eff).append(eff)
+        lines.append(f"{spec.name:>6}  {kind:>4}  {sp:15.2f}  {eff:19.3f}")
+    lines.append(f"geomean dw: speedup {geomean(dw_sp):.2f}, "
+                 f"MACs/cycle {geomean(dw_eff):.3f}")
+    lines.append(f"geomean pw: speedup {geomean(pw_sp):.2f}, "
+                 f"MACs/cycle {geomean(pw_eff):.3f}")
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "ext_mobilenet_depthwise.txt").write_text("\n".join(lines))
+    print("\n" + "\n".join(lines))
+
+    # pointwise behaves like ResNet 1x1; depthwise wastes the tile
+    assert geomean(pw_eff) > 4 * geomean(dw_eff)
+    assert geomean(pw_sp) > geomean(dw_sp)

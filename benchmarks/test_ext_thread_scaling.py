@@ -1,0 +1,46 @@
+"""Extension bench: multi-core scaling of the ARM kernels (Pi 3B, 4xA53).
+
+The paper reports single-thread numbers; this bench projects them to 2/4
+cores with the shared-memory-system model: compute-bound layers approach
+~3x on four cores, memory-heavy layers saturate earlier, and the 2-bit
+kernels (more memory-bound per MAC) scale worse than 8-bit — the flip
+side of their single-thread advantage.
+"""
+
+from conftest import OUT_DIR
+
+from repro.arm.conv_runner import time_arm_conv
+from repro.arm.threading import thread_scaling_curve
+from repro.models import resnet50_conv_layers
+from repro.util import geomean
+
+
+def test_thread_scaling(benchmark):
+    layers = [s for s in resnet50_conv_layers()
+              if s.name in ("conv1", "conv2", "conv6", "conv16")]
+
+    def run():
+        rows = []
+        for spec in layers:
+            for bits in (2, 8):
+                curve = thread_scaling_curve(time_arm_conv(spec, bits))
+                rows.append((spec.name, bits, curve))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["layer  bits   1T     2T     4T   (speedup over 1 thread)"]
+    by_bits: dict[int, list[float]] = {2: [], 8: []}
+    for name, bits, curve in rows:
+        lines.append(f"{name:>6}  {bits:>4}  {curve[1]:.2f}  {curve[2]:5.2f}"
+                     f"  {curve[4]:5.2f}")
+        by_bits[bits].append(curve[4])
+        assert 1.0 < curve[2] < 2.0
+        assert curve[2] < curve[4] < 4.0
+    lines.append(f"geomean 4T: 2-bit {geomean(by_bits[2]):.2f}, "
+                 f"8-bit {geomean(by_bits[8]):.2f}")
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "ext_thread_scaling.txt").write_text("\n".join(lines))
+    print("\n" + "\n".join(lines))
+
+    # the more memory-bound low-bit kernels saturate earlier
+    assert geomean(by_bits[8]) > geomean(by_bits[2])

@@ -1,0 +1,19 @@
+"""Fig. 9: our 2-bit kernels vs the TVM popcount baseline (A2W2) on ARM.
+
+Published shape: ours wins on most layers (16/19), highest speedup ~2.1x,
+average of winning layers 1.78x.
+"""
+
+from repro.figures import fig9_arm_popcount
+from repro.util import geomean
+
+
+def test_fig9(benchmark, emit):
+    data = benchmark.pedantic(fig9_arm_popcount, rounds=1, iterations=1)
+    emit(data)
+
+    vals = data.series[0].values
+    wins = [v for v in vals if v > 1.0]
+    assert len(wins) >= len(vals) * 0.75  # "16 out of 19 cases"
+    assert geomean(wins) > 1.15
+    assert max(vals) < 4.0  # same order as the published 2.11x peak

@@ -1,0 +1,21 @@
+"""Fig. 12: quantization-fusion speedups on the GPU (8-bit, batch 1).
+
+Published shape: conv+dequant fusion averages 1.18x; conv+ReLU fusion —
+which removes the whole dequantize/quantize pair — averages 1.51x and is
+the larger of the two on every layer.
+"""
+
+from repro.figures import fig12_gpu_fusion
+
+
+def test_fig12(benchmark, emit):
+    data = benchmark.pedantic(fig12_gpu_fusion, rounds=1, iterations=1)
+    emit(data)
+
+    dq = data.series_by_name("conv+dequant")
+    relu = data.series_by_name("conv+relu")
+
+    assert all(v >= 1.0 for v in dq.values)
+    assert all(r >= d for r, d in zip(relu.values, dq.values))
+    assert 1.05 < dq.geomean() < 1.8  # published 1.18x
+    assert 1.2 < relu.geomean() < 3.0  # published 1.51x

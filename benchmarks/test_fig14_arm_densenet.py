@@ -1,0 +1,25 @@
+"""Fig. 14: our 2~8-bit kernels vs ncnn 8-bit, DenseNet-121 on ARM.
+
+Published shape: same ordering as ResNet-50 with slightly higher averages
+(1.79/1.74/1.56/1.50/1.51/1.37 for 2~7-bit); 8-bit wins only a minority of
+layers (6/16, avg 1.09 in the wins).
+"""
+
+from conftest import assert_monotone_decreasing
+
+from repro.figures import fig14_arm_densenet
+
+
+def test_fig14(benchmark, emit):
+    data = benchmark.pedantic(fig14_arm_densenet, rounds=1, iterations=1)
+    emit(data)
+
+    by_bits = {int(s.name.split("-")[0]): s for s in data.series}
+    geo = {b: s.geomean() for b, s in by_bits.items()}
+    assert_monotone_decreasing([geo[b] for b in range(2, 9)],
+                               tolerance=0.02)
+    assert geo[2] > 1.5
+    assert 0.85 <= geo[8] <= 1.15
+    for b in range(2, 8):
+        wins = sum(v > 1.0 for v in by_bits[b].values)
+        assert wins >= len(data.labels) - 3

@@ -1,0 +1,27 @@
+"""Fig. 15: our 2~8-bit kernels vs ncnn 8-bit, SCR-ResNet-50 on ARM.
+
+Published shape: ours wins across *all* layers at every bit width
+(2~8-bit averages 3.17/3.00/2.65/2.54/2.54/2.27/1.52) — notably even the
+8-bit kernels win here, unlike on ResNet-50, because the reallocated
+(unusual) shapes suit the re-designed GEMM's blocking better.  Our
+simulated 8-bit advantage on SCR is smaller but the low-bit sweep keeps
+the full ordering.
+"""
+
+from conftest import assert_monotone_decreasing
+
+from repro.figures import fig15_arm_scr
+
+
+def test_fig15(benchmark, emit):
+    data = benchmark.pedantic(fig15_arm_scr, rounds=1, iterations=1)
+    emit(data)
+
+    by_bits = {int(s.name.split("-")[0]): s for s in data.series}
+    geo = {b: s.geomean() for b, s in by_bits.items()}
+    assert_monotone_decreasing([geo[b] for b in range(2, 9)],
+                               tolerance=0.02)
+    # sub-8-bit wins everywhere on the unusual shapes
+    for b in range(2, 8):
+        assert all(v > 1.0 for v in by_bits[b].values)
+    assert geo[2] > 1.5

@@ -1,0 +1,41 @@
+"""Fig. 16: GPU kernels on SCR-ResNet-50 (batch 1).
+
+Published shape: ours beats TensorRT and cuDNN across *all* layers, with
+larger margins than on ResNet-50 (vs TRT: 3.53x at 4-bit, 2.22x at 8-bit)
+— the unusual searched shapes fall outside TRT's tuned kernel repertoire
+while our auto-search adapts.
+"""
+
+from repro.figures import fig10_gpu_speedups, fig16_gpu_scr
+
+
+def test_fig16(benchmark, emit):
+    data = benchmark.pedantic(fig16_gpu_scr, rounds=1, iterations=1)
+    emit(data)
+
+    ours8 = data.series_by_name("ours 8-bit")
+    ours4 = data.series_by_name("ours 4-bit")
+    trt = data.series_by_name("TensorRT 8-bit")
+
+    vs_trt8 = [o / t for o, t in zip(ours8.values, trt.values)]
+    vs_trt4 = [o / t for o, t in zip(ours4.values, trt.values)]
+    assert sum(v > 1.0 for v in vs_trt8) >= len(data.labels) * 0.8
+    assert sum(v > 1.0 for v in vs_trt4) >= len(data.labels) * 0.8
+    assert ours4.geomean() > ours8.geomean()
+
+
+def test_scr_margin_vs_resnet50():
+    """Sec. 5.5: 'our optimization achieves better performance speedup on
+    SCR-ResNet-50 and DenseNet-121 compared to ResNet-50' (vs TensorRT)."""
+    def trt_margin(data):
+        ours = data.series_by_name("ours 8-bit")
+        trt = data.series_by_name("TensorRT 8-bit")
+        vals = [o / t for o, t in zip(ours.values, trt.values)]
+        prod = 1.0
+        for v in vals:
+            prod *= v
+        return prod ** (1 / len(vals))
+
+    scr = trt_margin(fig16_gpu_scr())
+    r50 = trt_margin(fig10_gpu_speedups("resnet50", batch=1))
+    assert scr > r50 * 0.9  # at least comparable; typically better

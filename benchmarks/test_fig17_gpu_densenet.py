@@ -1,0 +1,22 @@
+"""Fig. 17: GPU kernels on DenseNet-121 (batch 1).
+
+Published shape: ours beats TensorRT and cuDNN across all layers (vs TRT:
+3.29x at 4-bit, 2.53x at 8-bit) thanks to the long tail of unusual
+growing-channel 1x1 shapes (e.g. 736 channels at 14x14).
+"""
+
+from repro.figures import fig17_gpu_densenet
+
+
+def test_fig17(benchmark, emit):
+    data = benchmark.pedantic(fig17_gpu_densenet, rounds=1, iterations=1)
+    emit(data)
+
+    ours8 = data.series_by_name("ours 8-bit")
+    ours4 = data.series_by_name("ours 4-bit")
+    trt = data.series_by_name("TensorRT 8-bit")
+
+    assert ours8.geomean() > 1.5  # well above cuDNN
+    assert ours4.geomean() > ours8.geomean()
+    vs_trt = [o / t for o, t in zip(ours8.values, trt.values)]
+    assert sum(v > 1.0 for v in vs_trt) >= len(data.labels) * 0.7

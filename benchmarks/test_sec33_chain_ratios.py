@@ -1,0 +1,62 @@
+"""Sec. 3.3: the SMLAL/MLA : SADDW ratio table, regenerated and certified.
+
+Beyond reprinting the published ratios (511/127/31/8/2 and 31/7), this
+bench *executes* worst-case accumulation chains on the functional
+simulator in overflow-checking mode — the published lengths never wrap,
+one step more does.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import OUT_DIR
+
+from repro.arm.kernels import generate_mla_kernel, generate_smlal_kernel
+from repro.arm.ratios import chain_table, mla_chain_length, smlal_chain_length
+from repro.conv.padding import pack_a, pack_b
+from repro.errors import OverflowDetected
+
+
+def test_sec33_table(benchmark):
+    table = benchmark(chain_table)
+    assert table == {2: 31, 3: 7, 4: 511, 5: 127, 6: 31, 7: 8, 8: 2}
+    lines = ["bits  scheme  accumulate-chain : drain"]
+    for bits, chain in sorted(table.items()):
+        scheme = "MLA" if bits in (2, 3) else "SMLAL"
+        lines.append(f"{bits:>4}  {scheme:>6}  {chain} : 1")
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "sec33_chain_ratios.txt").write_text("\n".join(lines))
+    print("\n" + "\n".join(lines))
+
+
+@pytest.mark.parametrize("bits", [5, 6, 7, 8])
+def test_sec33_smlal_chain_is_tight(bits):
+    chain = smlal_chain_length(bits)
+    half = 1 << (bits - 1)
+    worst = -(half - 1) if bits >= 7 else -half
+
+    def run(k):
+        a = np.full((16, k), worst, dtype=np.int8)
+        b = np.full((k, 4), worst, dtype=np.int8)
+        kern = generate_smlal_kernel(bits, k, round_steps=k)
+        return kern.execute(pack_a(a, 16), pack_b(b, 4), check_overflow=True)
+
+    run(chain)  # safe at the published length
+    with pytest.raises(OverflowDetected):
+        run(chain + 1)  # wraps one past it
+
+
+@pytest.mark.parametrize("bits", [2, 3])
+def test_sec33_mla_chain_is_tight(bits):
+    chain = mla_chain_length(bits)
+    half = 1 << (bits - 1)
+
+    def run(k):
+        a = np.full((64, k), -half, dtype=np.int8)
+        b = np.full((k, 1), -half, dtype=np.int8)
+        kern = generate_mla_kernel(bits, k, chain_steps=k)
+        return kern.execute(pack_a(a, 64), pack_b(b, 1), check_overflow=True)
+
+    run(chain)
+    with pytest.raises(OverflowDetected):
+        run(chain + 1)

@@ -1,0 +1,20 @@
+"""Tab. 1: hardware/software configurations of the two simulated platforms."""
+
+import json
+
+from conftest import OUT_DIR
+
+from repro.figures import tab1_configurations
+
+
+def test_tab1_configurations(benchmark):
+    configs = benchmark(tab1_configurations)
+    assert set(configs) == {"ARM CPU", "NVIDIA GPU"}
+    arm = configs["ARM CPU"]
+    gpu = configs["NVIDIA GPU"]
+    assert arm["architecture"] == "ARM Cortex-A53"
+    assert gpu["architecture"] == "NVIDIA Turing TU102"
+    assert gpu["sm_count"] == 68
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "tab1.txt").write_text(json.dumps(configs, indent=2))
+    print("\n" + json.dumps(configs, indent=2))

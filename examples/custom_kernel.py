@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Write your own micro-kernel in assembly text and run it.
+
+The kernel generators emit instruction streams; the assembler round-trips
+them through text, which means you can *author* a kernel as a listing,
+assemble it, execute it bit-exactly on the functional simulator, and get
+a cycle estimate from the pipeline model — the workflow the paper's
+authors had, reduced to a Python session.
+
+The kernel below is a deliberately naive 4x4 int8 GEMM tile (one SMLAL
+per column, no interleaving, drain every step); the example then shows
+what the paper's optimizations buy over it.
+
+Run:  python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro.arm.assembler import assemble, disassemble
+from repro.arm.kernels import generate_smlal_kernel
+from repro.arm.pipeline import PipelineModel
+from repro.arm.simulator import ArmSimulator
+
+# a 4x4 tile: A panel holds K columns of 4 int8 rows (padded to 8-byte
+# loads), B panel holds K rows of 4 values; C is 4x4 int32.
+def k_step(k: int) -> str:
+    """One naive K step: load, multiply, drain immediately (no pipelining,
+    no SMLAL chaining — everything the paper's scheme improves on)."""
+    return f"""
+; ---- k = {k} ----
+LD1_8B {{v0}} [A+{8 * k}]
+LD4R_B {{v2, v3, v4, v5}} [B+{4 * k}]
+SMLAL_8H {{v8}} {{v0, v2}}
+SMLAL_8H {{v9}} {{v0, v3}}
+SMLAL_8H {{v10}} {{v0, v4}}
+SMLAL_8H {{v11}} {{v0, v5}}
+SADDW_4S {{v16}} {{v16, v8}}
+SADDW_4S {{v17}} {{v17, v9}}
+SADDW_4S {{v18}} {{v18, v10}}
+SADDW_4S {{v19}} {{v19, v11}}
+MOVI_ZERO {{v8}}
+MOVI_ZERO {{v9}}
+MOVI_ZERO {{v10}}
+MOVI_ZERO {{v11}}
+"""
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    K = 4
+    a = rng.integers(-8, 8, (4, K)).astype(np.int8)
+    b = rng.integers(-8, 8, (K, 4)).astype(np.int8)
+
+    # assemble the naive kernel: prologue + K unrolled steps + stores
+    text = "\n".join(
+        ["MOVI_ZERO {v16}", "MOVI_ZERO {v17}", "MOVI_ZERO {v18}",
+         "MOVI_ZERO {v19}"]
+        + [k_step(k) for k in range(K)]
+        + [f"ST1_16B {{v{16 + j}}} [C+{16 * j}]" for j in range(4)]
+    )
+    stream = assemble(text)
+    print(f"assembled {len(stream)} instructions; first three:")
+    for ins in stream[:3]:
+        print("  " + ins.render())
+
+    # pack operands: A columns padded to 8 bytes, B rows of 4
+    a_panel = np.zeros(8 * K, dtype=np.int8)
+    for k in range(K):
+        a_panel[8 * k : 8 * k + 4] = a[:, k]
+    b_panel = np.zeros(4 * K, dtype=np.int8)
+    for k in range(K):
+        b_panel[4 * k : 4 * k + 4] = b[k]
+
+    sim = ArmSimulator({
+        "A": a_panel.view(np.uint8),
+        "B": b_panel.view(np.uint8),
+        "C": np.zeros(64, dtype=np.uint8),
+    })
+    sim.run(stream)
+    tile = sim.buffer("C").view(np.int32).reshape(4, 4).T[:4, :4]
+    ref = a.astype(np.int64) @ b.astype(np.int64)
+    assert np.array_equal(tile[:4, :4], ref), (tile, ref)
+    print("\nexecutes correctly: tile == A @ B")
+
+    naive_cycles = PipelineModel().schedule(stream).cycles
+    naive_macs = 4 * 4 * K
+    print(f"naive kernel: {naive_cycles} cycles, "
+          f"{naive_macs / naive_cycles:.2f} MACs/cycle")
+
+    # the paper's 4-bit kernel at the same K, per the same pipeline model
+    paper = generate_smlal_kernel(4, K)
+    pc = paper.cycles().cycles
+    print(f"paper's 16x4 SMLAL kernel: {pc} cycles for {16 * 4 * K} MACs, "
+          f"{16 * 4 * K / pc:.2f} MACs/cycle")
+    print("\nround-trip sanity: re-assembling the paper's kernel listing")
+    again = assemble(disassemble(paper.stream))
+    assert tuple(again) == paper.stream
+    print(f"  {len(again)} instructions round-tripped exactly")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: quantize a tensor, run every convolution algorithm, and see
+that they agree bit-for-bit — then peek at the paper's two analysis tables
+(the accumulation-chain ratios and the winograd range rule).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ConvSpec, LinearQuantizer, conv2d
+from repro.arm.ratios import chain_table
+from repro.conv.winograd import winograd_eligible_bits, winograd_range_report
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # 1. describe a layer -----------------------------------------------------
+    spec = ConvSpec(
+        "demo", in_channels=8, out_channels=16, height=16, width=16,
+        kernel=(3, 3), stride=(1, 1), padding=(1, 1),
+    )
+    print(f"layer: {spec.describe()}")
+    print(f"GEMM view: M={spec.gemm_m} K={spec.gemm_k} N={spec.gemm_n} "
+          f"({spec.macs / 1e6:.2f} MMACs)\n")
+
+    # 2. quantize float data to 4-bit -----------------------------------------
+    q = LinearQuantizer(bits=4)
+    x = q.quantize(rng.normal(size=spec.input_shape()))
+    w = q.quantize(rng.normal(size=spec.weight_shape()))
+    print(f"input  {x}: range [{x.data.min()}, {x.data.max()}], scale {float(x.scale):.4f}")
+    print(f"weight {w}: range [{w.data.min()}, {w.data.max()}]\n")
+
+    # 3. every algorithm computes the identical integer result ----------------
+    results = {
+        name: conv2d(spec, x.data, w.data, algorithm=name)
+        for name in ("direct", "gemm", "winograd")
+    }
+    results["bitserial"] = conv2d(
+        spec, np.clip(x.data, -2, 1), np.clip(w.data, -2, 1),
+        algorithm="bitserial", bits_a=2, bits_w=2,
+    )
+    ref = results["direct"]
+    for name in ("gemm", "winograd"):
+        assert np.array_equal(results[name], ref), name
+    print("direct == gemm == winograd: bit-exact OK")
+    print(f"output int32 range: [{ref.min()}, {ref.max()}]\n")
+
+    # 4. the paper's chain-ratio table (Sec. 3.3) ------------------------------
+    print("accumulation chain lengths (SMLAL/MLA per SADDW drain):")
+    for bits, chain in sorted(chain_table().items()):
+        scheme = "MLA " if bits <= 3 else "SMLAL"
+        print(f"  {bits}-bit  {scheme}  {chain:>3} : 1")
+
+    # 5. the winograd range rule (Sec. 3.4) ------------------------------------
+    print("\nwinograd F(2x2,3x3) range analysis:")
+    for bits in range(2, 9):
+        print(f"  {winograd_range_report(bits)}")
+    print(f"eligible bit widths: {winograd_eligible_bits()}")
+
+
+if __name__ == "__main__":
+    main()

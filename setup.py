@@ -1,0 +1,5 @@
+"""Shim so legacy editable installs work on environments without `wheel`."""
+
+from setuptools import setup
+
+setup()

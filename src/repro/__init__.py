@@ -1,0 +1,71 @@
+"""repro — reproduction of "Extremely Low-bit Convolution Optimization for
+Quantized Neural Network on Modern Computer Architectures" (ICPP 2020).
+
+Layout (see DESIGN.md for the full inventory):
+
+* :mod:`repro.quant` — linear quantization, ranges, QTensor;
+* :mod:`repro.conv` — exact convolution algorithms (direct / explicit GEMM
+  / integer winograd / bit-serial popcount);
+* :mod:`repro.gemm` — the re-designed GEMM and its Eq. 1-4 analysis;
+* :mod:`repro.arm` — simulated ARMv8.1: NEON-subset functional simulator,
+  in-order dual-issue cost model, the paper's kernel generators (SMLAL and
+  MLA schemes), ncnn-like and TVM-popcount baselines, winograd path;
+* :mod:`repro.gpu` — simulated Turing: exact mma/dp4a, implicit-precomp
+  GEMM, tiling + autotuner, memory analyzers, fusion, cuDNN/TensorRT
+  baselines;
+* :mod:`repro.models` — ResNet-50 / SCR-ResNet-50 / DenseNet-121 tables;
+* :mod:`repro.runtime` — QNN pipeline IR, fusion passes, executors;
+* :mod:`repro.analysis` — space-overhead accounting and report formatting.
+
+Quick start::
+
+    import numpy as np
+    from repro import ConvSpec, LinearQuantizer, conv2d
+
+    spec = ConvSpec("demo", in_channels=8, out_channels=16,
+                    height=16, width=16, kernel=(3, 3), padding=(1, 1))
+    q = LinearQuantizer(bits=4)
+    x = q.quantize(np.random.randn(*spec.input_shape()))
+    w = q.quantize(np.random.randn(*spec.weight_shape()))
+    y = conv2d(spec, x.data, w.data, algorithm="winograd")
+"""
+
+from .types import ConvSpec, GemmShape, Layout
+from .errors import (
+    ReproError,
+    QuantizationError,
+    UnsupportedBitsError,
+    ShapeError,
+    SimulationError,
+    OverflowDetected,
+    TilingError,
+    AutotuneError,
+)
+from .quant import LinearQuantizer, QTensor, qrange, scheme_qrange
+from .conv import conv2d, conv2d_ref, conv2d_gemm, conv2d_winograd, conv2d_bitserial
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConvSpec",
+    "GemmShape",
+    "Layout",
+    "ReproError",
+    "QuantizationError",
+    "UnsupportedBitsError",
+    "ShapeError",
+    "SimulationError",
+    "OverflowDetected",
+    "TilingError",
+    "AutotuneError",
+    "LinearQuantizer",
+    "QTensor",
+    "qrange",
+    "scheme_qrange",
+    "conv2d",
+    "conv2d_ref",
+    "conv2d_gemm",
+    "conv2d_winograd",
+    "conv2d_bitserial",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Analysis utilities: exact space-overhead accounting and report formatting."""
+
+from .space import SpaceOverhead, space_overhead, model_space_report
+from .report import Series, format_table, ascii_bar, ascii_chart
+from .accuracy import SqnrReport, output_sqnr, sqnr_sweep, float_reference_network
+
+__all__ = [
+    "SpaceOverhead",
+    "space_overhead",
+    "model_space_report",
+    "Series",
+    "format_table",
+    "ascii_bar",
+    "ascii_chart",
+    "SqnrReport",
+    "output_sqnr",
+    "sqnr_sweep",
+    "float_reference_network",
+]

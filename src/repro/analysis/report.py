@@ -1,0 +1,80 @@
+"""Plain-text report formatting shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..errors import ReproError
+from ..util import geomean
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named series over a shared label axis (one bar group per label)."""
+
+    name: str
+    values: tuple[float, ...]
+
+    def geomean(self) -> float:
+        return geomean(self.values)
+
+
+def format_table(
+    labels: Sequence[str],
+    series: Sequence[Series],
+    *,
+    value_fmt: str = "{:.2f}",
+    label_header: str = "layer",
+) -> str:
+    """Fixed-width text table: one row per label, one column per series."""
+    for s in series:
+        if len(s.values) != len(labels):
+            raise ReproError(
+                f"series {s.name!r} has {len(s.values)} values for "
+                f"{len(labels)} labels"
+            )
+    headers = [label_header] + [s.name for s in series]
+    rows = [
+        [labels[i]] + [value_fmt.format(s.values[i]) for s in series]
+        for i in range(len(labels))
+    ]
+    rows.append(
+        ["geomean"] + [value_fmt.format(s.geomean()) for s in series]
+    )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows))
+        for c in range(len(headers))
+    ]
+    def fmt_row(cells: list[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt_row(headers), fmt_row(["-" * w for w in widths])]
+    lines += [fmt_row(r) for r in rows]
+    return "\n".join(lines)
+
+
+def ascii_bar(value: float, scale: float = 10.0, max_width: int = 60) -> str:
+    """One proportional bar (for quick visual scans of speedup columns)."""
+    n = max(0, min(max_width, int(round(value * scale))))
+    return "#" * n
+
+
+def ascii_chart(
+    labels: Sequence[str],
+    series: Sequence[Series],
+    *,
+    scale: float = 10.0,
+) -> str:
+    """Grouped horizontal bar chart in plain text."""
+    name_w = max((len(s.name) for s in series), default=0)
+    label_w = max((len(l) for l in labels), default=0)
+    lines = []
+    for i, label in enumerate(labels):
+        for s in series:
+            lines.append(
+                f"{label.rjust(label_w)}  {s.name.ljust(name_w)} "
+                f"{s.values[i]:6.2f} {ascii_bar(s.values[i], scale)}"
+            )
+        lines.append("")
+    return "\n".join(lines)

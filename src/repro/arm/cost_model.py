@@ -1,0 +1,171 @@
+"""Layer-level ARM cost model: machine parameters + tile-cycle estimation.
+
+The micro-kernel cycle counts come from statically scheduling real
+instruction streams (:mod:`repro.arm.pipeline`).  This module adds what
+surrounds the kernel in a full convolution layer:
+
+* im2col, packing, requantization passes (byte-proportional charges),
+* the memory hierarchy: packed-B panel re-reads per row-tile pass served
+  from L2 or DRAM depending on footprint, plus the layer's unique DRAM
+  traffic,
+* per-layer fixed overhead (layer setup, threading handoff).
+
+Machine constants approximate a Raspberry Pi 3B (Cortex-A53 @ 1.2 GHz,
+32 KiB L1D / 512 KiB L2, LPDDR2).  As stated in DESIGN.md, the experiments
+depend on this model's *structure* — which costs are bit-width-independent,
+which scale with tile counts — not on any absolute constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..errors import UnsupportedBitsError
+from ..types import ConvSpec
+from .pipeline import A53_COST_TABLE, CostTable, PipelineModel
+from .ratios import MLA_SCHEME_BITS, SMLAL_SCHEME_BITS
+
+
+@dataclass(frozen=True)
+class ArmMachine:
+    """Raspberry Pi 3B-flavored machine description (Tab. 1, left column)."""
+
+    name: str = "raspberry-pi-3b"
+    clock_hz: float = 1.2e9
+    l1_bytes: int = 32 * 1024
+    l2_bytes: int = 512 * 1024
+    #: sustained copy bandwidths, bytes per cycle (L2 streams benefit from
+    #: the A53 hardware prefetcher; DRAM is LPDDR2 shared with the GPU)
+    dram_bytes_per_cycle: float = 1.0
+    l2_bytes_per_cycle: float = 6.0
+    #: byte-proportional pass costs (load+store+loop overhead through cache)
+    im2col_cycles_per_byte: float = 0.5
+    pack_cycles_per_byte: float = 0.5
+    transpose_pack_cycles_per_byte: float = 0.75  # column-major (n_b = 1) pack
+    bitpack_cycles_per_byte: float = 2.0  # bit-plane packing (shift/or chains)
+    #: per-element epilogue cost: bias + fixed-point requantize + store int8
+    requant_cycles_per_elem: float = 2.0
+    #: the quantization pipeline around every conv: fp32 activations are
+    #: quantized on the way in and int32 results dequantized on the way out
+    #: (the same stages the paper's GPU fusion experiment, Fig. 12, shows
+    #: costing 15~35% of layer time); scalar-ish on the A53
+    quantize_cycles_per_elem: float = 5.0
+    dequantize_cycles_per_elem: float = 5.0
+    #: winograd transform costs per transformed element (strided gathers +
+    #: adds + scattered stores into 16 per-position GEMM operands)
+    wino_input_tf_cycles_per_elem: float = 2.5
+    wino_output_tf_cycles_per_elem: float = 2.5
+    #: fixed per-layer overhead (setup, function dispatch), cycles
+    layer_overhead_cycles: float = 20_000.0
+
+    def ms(self, cycles: float) -> float:
+        return cycles / self.clock_hz * 1e3
+
+
+PI3B = ArmMachine()
+
+
+# ---------------------------------------------------------------------------
+# Tile-cycle estimation with linear extrapolation over K
+# ---------------------------------------------------------------------------
+
+_EXACT_K_LIMIT = 512  # below this, schedule the real stream for the exact K
+
+
+def _generate(scheme: str, bits: int, k: int, interleave: bool, round_steps: int | None):
+    from .kernels import (
+        generate_mla_kernel,
+        generate_ncnn_kernel,
+        generate_popcount_kernel,
+        generate_smlal_kernel,
+    )
+
+    if scheme == "smlal":
+        return generate_smlal_kernel(
+            bits, k, interleave=interleave, round_steps=round_steps
+        )
+    if scheme == "mla":
+        return generate_mla_kernel(
+            bits, k, interleave=interleave, chain_steps=round_steps
+        )
+    if scheme == "ncnn":
+        return generate_ncnn_kernel(k, interleave=interleave)
+    if scheme == "sdot":
+        from .kernels.sdot_scheme import generate_sdot_kernel
+
+        return generate_sdot_kernel(k, interleave=interleave)
+    if scheme == "popcount":
+        return generate_popcount_kernel(k)
+    raise UnsupportedBitsError(bits, f"unknown scheme {scheme!r}")
+
+
+@lru_cache(maxsize=None)
+def _schedule_cycles(
+    scheme: str, bits: int, k: int, interleave: bool, round_steps: int | None
+) -> int:
+    kern = _generate(scheme, bits, k, interleave, round_steps)
+    return PipelineModel(A53_COST_TABLE).schedule(kern.stream).cycles
+
+
+@lru_cache(maxsize=None)
+def _linear_fit(
+    scheme: str, bits: int, interleave: bool, round_steps: int | None
+) -> tuple[float, float]:
+    """Fit cycles ~= a + b*k from two scheduled reference streams."""
+    k1, k2 = _EXACT_K_LIMIT // 2, _EXACT_K_LIMIT
+    c1 = _schedule_cycles(scheme, bits, k1, interleave, round_steps)
+    c2 = _schedule_cycles(scheme, bits, k2, interleave, round_steps)
+    b = (c2 - c1) / (k2 - k1)
+    a = c1 - b * k1
+    return a, b
+
+
+def tile_cycles(
+    scheme: str,
+    bits: int,
+    k: int,
+    *,
+    interleave: bool = True,
+    round_steps: int | None = None,
+) -> float:
+    """Cycles for one register-tile kernel invocation over reduction ``k``.
+
+    Exact static scheduling for small ``k``; linear extrapolation from two
+    scheduled streams beyond (kernel cycles are affine in ``k`` up to drain
+    granularity, which the fit's sampling respects).  ``round_steps``
+    overrides the drain interval (the winograd path uses the shorter chains
+    its transformed operand ranges force, Sec. 3.4).
+    """
+    if k <= 0:
+        raise UnsupportedBitsError(bits, f"k must be positive, got {k}")
+    if k <= _EXACT_K_LIMIT:
+        return float(_schedule_cycles(scheme, bits, k, interleave, round_steps))
+    a, b = _linear_fit(scheme, bits, interleave, round_steps)
+    return a + b * k
+
+
+def scheme_for_bits(bits: int) -> str:
+    """The paper's scheme selection (Fig. 3): MLA below 4-bit, else SMLAL."""
+    if bits in MLA_SCHEME_BITS:
+        return "mla"
+    if bits in SMLAL_SCHEME_BITS:
+        return "smlal"
+    raise UnsupportedBitsError(bits, "ARM path covers 2~8-bit")
+
+
+def kernel_geometry(scheme: str) -> tuple[int, int]:
+    """(m_r, n_r) register-tile shape of a scheme."""
+    return {
+        "smlal": (16, 4),
+        "mla": (64, 1),
+        "ncnn": (8, 4),
+        "sdot": (16, 4),
+        "popcount": (2, 2),
+    }[scheme]
+
+
+def is_pointwise_unit_stride(spec: ConvSpec) -> bool:
+    """1x1 stride-1 unpadded convolutions skip im2col entirely — the input
+    already *is* the GEMM B matrix."""
+    return spec.kernel == (1, 1) and spec.stride == (1, 1) and spec.padding == (0, 0)

@@ -1,0 +1,34 @@
+"""ARM micro-kernel generators.
+
+Each generator emits a complete, functionally executable instruction stream
+computing one register tile of the GEMM:
+
+* :mod:`smlal_scheme` — the paper's 4~8-bit scheme (Alg. 1): 16x4 tile,
+  ``SMLAL/SMLAL2`` into int16 lanes, periodic ``SADDW`` drains into int32.
+* :mod:`mla_scheme` — the paper's 2~3-bit scheme: 64x1 tile, ``MLA`` into
+  int8 lanes, two-level ``SADDW`` drains.
+* :mod:`ncnn_like` — the ncnn 8-bit baseline: widen to int16, by-element
+  ``SMLAL`` straight into int32 accumulators (no drains).
+* :mod:`popcount_scheme` — the TVM-style 2-bit bit-serial baseline:
+  ``AND`` + ``CNT`` + ``UADALP`` over bit-packed planes.
+
+All streams run on :class:`repro.arm.simulator.ArmSimulator` (bit-exact)
+and :class:`repro.arm.pipeline.PipelineModel` (cycles).
+"""
+
+from .base import MicroKernel
+from .smlal_scheme import generate_smlal_kernel
+from .mla_scheme import generate_mla_kernel
+from .ncnn_like import generate_ncnn_kernel
+from .popcount_scheme import generate_popcount_kernel, popcount_pair_weights
+from .sdot_scheme import generate_sdot_kernel
+
+__all__ = [
+    "MicroKernel",
+    "generate_smlal_kernel",
+    "generate_mla_kernel",
+    "generate_ncnn_kernel",
+    "generate_popcount_kernel",
+    "generate_sdot_kernel",
+    "popcount_pair_weights",
+]

@@ -1,0 +1,92 @@
+"""Common micro-kernel container and execution helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ...errors import ShapeError, SimulationError
+from ..isa import Instr, macs_in_stream, stream_summary
+from ..pipeline import A53_COST_TABLE, CostTable, PipelineModel, PipelineResult
+from ..simulator import ArmSimulator
+
+
+@dataclass(frozen=True)
+class MicroKernel:
+    """A generated register-tile kernel.
+
+    Attributes
+    ----------
+    name:
+        Scheme identifier (``"smlal4"``, ``"mla2"``, ``"ncnn8"``, ...).
+    stream:
+        The full, unrolled instruction stream for one C tile.
+    m_r, n_r:
+        Register-tile size: the stream computes an ``m_r x n_r`` int32 tile.
+    k:
+        Reduction length the stream was generated for.
+    bits:
+        Operand bit width the overflow analysis assumed.
+    a_bytes, b_bytes:
+        Sizes the bound panels must have (incl. any slack the loads need).
+    c_bytes:
+        Output buffer size; C is stored column-major
+        (``slot = col * m_r + row``, 4 bytes per slot).
+    """
+
+    name: str
+    stream: tuple[Instr, ...]
+    m_r: int
+    n_r: int
+    k: int
+    bits: int
+    a_bytes: int
+    b_bytes: int
+    c_bytes: int
+
+    def summary(self) -> dict[str, int]:
+        return stream_summary(list(self.stream))
+
+    @property
+    def mac_lanes(self) -> int:
+        return macs_in_stream(list(self.stream))
+
+    def cycles(self, table: CostTable = A53_COST_TABLE) -> PipelineResult:
+        """Statically schedule the stream on the pipeline model."""
+        return PipelineModel(table).schedule(self.stream)
+
+    def execute(
+        self,
+        a_panel: np.ndarray,
+        b_panel: np.ndarray,
+        *,
+        check_overflow: bool = False,
+        extra_buffers: Mapping[str, np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Run the stream functionally; returns the ``(m_r, n_r)`` int32 tile.
+
+        ``a_panel`` / ``b_panel`` are the packed byte panels (int8 viewed as
+        bytes); they must be at least ``a_bytes`` / ``b_bytes`` long.
+        """
+        a_panel = np.ascontiguousarray(a_panel).view(np.uint8).ravel()
+        b_panel = np.ascontiguousarray(b_panel).view(np.uint8).ravel()
+        if a_panel.size < self.a_bytes:
+            raise ShapeError(
+                f"{self.name}: A panel {a_panel.size}B < required {self.a_bytes}B"
+            )
+        if b_panel.size < self.b_bytes:
+            raise ShapeError(
+                f"{self.name}: B panel {b_panel.size}B < required {self.b_bytes}B"
+            )
+        c = np.zeros(self.c_bytes, dtype=np.uint8)
+        buffers = {"A": a_panel, "B": b_panel, "C": c}
+        if extra_buffers:
+            buffers.update({k: np.asarray(v).view(np.uint8).ravel()
+                            for k, v in extra_buffers.items()})
+        sim = ArmSimulator(buffers, check_overflow=check_overflow)
+        sim.run(list(self.stream))
+        tile = c.view(np.int32)[: self.m_r * self.n_r]
+        # column-major C: slot = col * m_r + row
+        return tile.reshape(self.n_r, self.m_r).T.copy()

@@ -1,0 +1,188 @@
+"""The 2~3-bit GEMM micro-kernel: MLA + two-level SADDW.
+
+Register allocation (Sec. 3.3, "simpler register allocation mechanism"):
+
+* ``v0~v3``   — Matrix A (64 rows of one K column: 4 x 16 int8 lanes),
+* ``v4~v7``   — Matrix B (one replicated value per step, 4-deep rotation),
+* ``v8~v11``  — int8 partial accumulators (64 lanes),
+* ``v12~v19`` — int16 accumulators (64 lanes),
+* ``v20~v31`` — 48 of the 64 int32 accumulators,
+* ``x0~x7``   — the remaining 16 int32 accumulators (rows 48~63), shuttled
+  through ``v0~v3`` during the second-level drain.
+
+The tile is 64x1.  Every K step costs 4 ``LD1`` (64 A bytes), one ``LD1R``
+(1 replicated B byte) and 4 ``MLA`` (64 MACs in int8 lanes — twice the MAC
+throughput of the SMLAL scheme, Sec. 3.3/3.4).  Every
+``mla_chain_length(bits)`` steps (31 for 2-bit, 7 for 3-bit) the int8 lanes
+drain into int16; every ``saddw_second_level_interval(bits)`` first-level
+drains the int16 lanes drain into int32.
+"""
+
+from __future__ import annotations
+
+from ...errors import ShapeError, UnsupportedBitsError
+from ..isa import Instr, MemRef
+from ..ratios import (
+    MLA_SCHEME_BITS,
+    mla_chain_length,
+    saddw_second_level_interval,
+)
+from .base import MicroKernel
+
+M_R = 64
+N_R = 1
+
+_A_REGS = ("v0", "v1", "v2", "v3")
+_B_REGS = ("v4", "v5", "v6", "v7")
+_ACC8 = ("v8", "v9", "v10", "v11")
+_ACC16 = tuple(f"v{12 + i}" for i in range(8))
+
+
+def _emit_first_level_drain(out: list[Instr]) -> None:
+    """int8 lanes -> int16 lanes, then clear the int8 accumulators."""
+    for i, a8 in enumerate(_ACC8):  # a8 holds rows 16i .. 16i+15
+        out.append(Instr("SADDW_8H", dst=(_ACC16[2 * i],), src=(_ACC16[2 * i], a8)))
+        out.append(
+            Instr("SADDW2_8H", dst=(_ACC16[2 * i + 1],), src=(_ACC16[2 * i + 1], a8))
+        )
+    for a8 in _ACC8:
+        out.append(Instr("MOVI_ZERO", dst=(a8,)))
+
+
+def _emit_second_level_drain(out: list[Instr]) -> None:
+    """int16 lanes -> int32 accumulators (v20~v31 + x0~x7 via v0~v3)."""
+    # restore the x-spilled rows 48..63 into the scratch A registers
+    for t in range(4):  # scratch v0..v3 each hold 4 int32 (one slot group)
+        out.append(
+            Instr("MOV_X_TO_V", dst=(_A_REGS[t],), src=(f"x{2 * t}",), lane=0)
+        )
+        out.append(
+            Instr("MOV_X_TO_V", dst=(_A_REGS[t],), src=(f"x{2 * t + 1}",), lane=1)
+        )
+    for s, a16 in enumerate(_ACC16):  # a16 holds rows 8s .. 8s+7
+        g0, g1 = 2 * s, 2 * s + 1  # int32 slot groups (4 rows each)
+        d0 = f"v{20 + g0}" if g0 < 12 else _A_REGS[g0 - 12]
+        d1 = f"v{20 + g1}" if g1 < 12 else _A_REGS[g1 - 12]
+        out.append(Instr("SADDW_4S", dst=(d0,), src=(d0, a16)))
+        out.append(Instr("SADDW2_4S", dst=(d1,), src=(d1, a16)))
+    for t in range(4):
+        out.append(
+            Instr("MOV_V_TO_X", dst=(f"x{2 * t}",), src=(_A_REGS[t],), lane=0)
+        )
+        out.append(
+            Instr("MOV_V_TO_X", dst=(f"x{2 * t + 1}",), src=(_A_REGS[t],), lane=1)
+        )
+    for a16 in _ACC16:
+        out.append(Instr("MOVI_ZERO", dst=(a16,)))
+
+
+def generate_mla_kernel(
+    bits: int,
+    k: int,
+    *,
+    interleave: bool = True,
+    chain_steps: int | None = None,
+) -> MicroKernel:
+    """Generate the MLA-scheme stream for a 64x1 tile over reduction ``k``.
+
+    ``chain_steps`` overrides the first-level drain interval (tests use it
+    to demonstrate overflow past the published chain lengths).
+    """
+    if bits not in MLA_SCHEME_BITS:
+        raise UnsupportedBitsError(bits, "MLA scheme covers 2~3-bit")
+    if k <= 0:
+        raise ShapeError(f"k must be positive, got {k}")
+    chain = chain_steps if chain_steps is not None else mla_chain_length(bits)
+    if chain < 1:
+        raise ShapeError(f"chain interval must be >= 1, got {chain}")
+    l2_interval = saddw_second_level_interval(bits)
+
+    out: list[Instr] = []
+    for r in (*_ACC8, *_ACC16, *(f"v{20 + g}" for g in range(12))):
+        out.append(Instr("MOVI_ZERO", dst=(r,)))
+    for i in range(8):
+        out.append(Instr("MOV_X_IMM", dst=(f"x{i}",), imm=0))
+    out.append(Instr("MOV_X_IMM", dst=("x9",), imm=k))
+
+    def emit_a_loads(step: int) -> None:
+        for q in range(4):
+            out.append(
+                Instr("LD1_16B", dst=(_A_REGS[q],),
+                      mem=MemRef("A", step * M_R + q * 16))
+            )
+
+    def emit_b_load(step: int) -> None:
+        out.append(
+            Instr("LD1R_B", dst=(_B_REGS[step % 4],), mem=MemRef("B", step * N_R))
+        )
+
+    def emit_macs(step: int) -> None:
+        b = _B_REGS[step % 4]
+        for q in range(4):
+            out.append(Instr("MLA_16B", dst=(_ACC8[q],), src=(_A_REGS[q], b)))
+
+    step = 0
+    drains_since_l2 = 0
+    while step < k:
+        block = min(chain, k - step)
+        if interleave:
+            # fill the 4-deep B rotation, then keep it 4 steps ahead: the
+            # replicated byte for step s+4 loads while step s computes;
+            # each A quarter for step s+1 loads right after the MLA that
+            # frees its register (software pipelining without extra regs)
+            for t in range(min(4, block)):
+                emit_b_load(step + t)
+            emit_a_loads(step)
+            for s in range(block):
+                cur = step + s
+                b = _B_REGS[cur % 4]
+                for q in range(4):
+                    out.append(Instr("MLA_16B", dst=(_ACC8[q],), src=(_A_REGS[q], b)))
+                    if s + 1 < block:
+                        out.append(
+                            Instr("LD1_16B", dst=(_A_REGS[q],),
+                                  mem=MemRef("A", (cur + 1) * M_R + q * 16))
+                        )
+                if s + 4 < block:
+                    emit_b_load(cur + 4)
+        else:
+            for s in range(block):
+                cur = step + s
+                emit_a_loads(cur)
+                emit_b_load(cur)
+                emit_macs(cur)
+        step += block
+        _emit_first_level_drain(out)
+        drains_since_l2 += 1
+        if drains_since_l2 >= l2_interval:
+            _emit_second_level_drain(out)
+            drains_since_l2 = 0
+        out.append(Instr("SUBS", dst=("x9",), src=("x9",), imm=block))
+        out.append(Instr("B_NE"))
+
+    if drains_since_l2:
+        _emit_second_level_drain(out)
+
+    # epilogue: store 64 int32 results (column-major, single column)
+    for g in range(12):
+        out.append(Instr("ST1_16B", src=(f"v{20 + g}",), mem=MemRef("C", g * 16)))
+    for t in range(4):
+        out.append(Instr("MOV_X_TO_V", dst=(_A_REGS[t],), src=(f"x{2 * t}",), lane=0))
+        out.append(
+            Instr("MOV_X_TO_V", dst=(_A_REGS[t],), src=(f"x{2 * t + 1}",), lane=1)
+        )
+        out.append(
+            Instr("ST1_16B", src=(_A_REGS[t],), mem=MemRef("C", (12 + t) * 16))
+        )
+
+    return MicroKernel(
+        name=f"mla{bits}",
+        stream=tuple(out),
+        m_r=M_R,
+        n_r=N_R,
+        k=k,
+        bits=bits,
+        a_bytes=k * M_R,
+        b_bytes=k * N_R,
+        c_bytes=M_R * N_R * 4,
+    )

@@ -1,0 +1,104 @@
+"""The ncnn-style 8-bit baseline kernel (Sec. 5.2, second paragraph).
+
+ncnn "stores the 8-bit input into a 16-bit register, and uses 16-bit SMLAL
+instruction to compute and accumulate the result to a 32-bit register":
+
+* per K step, the 8 A bytes and 4 B bytes are widened with ``SSHLL``,
+* by-element ``SMLAL.4S``/``SMLAL2.4S`` multiply the widened A column by
+  each widened B value and accumulate *directly* into int32 lanes,
+* no drains are ever needed (int32 accumulators cannot realistically
+  overflow within a layer), but each instruction only covers 4 MAC lanes —
+  half of the paper scheme's ``SMLAL.8H`` and a quarter of ``MLA.16B``.
+
+Tile: 8x4.  Register allocation: ``v2``/``v4`` raw A bytes (pipelined
+pair), ``v3``/``v5`` raw B bytes, ``v0``/``v6`` widened A, ``v1``/``v7``
+widened B, ``v8~v15`` int32 accumulators (col j in v8+2j / v9+2j).
+"""
+
+from __future__ import annotations
+
+from ...errors import ShapeError
+from ..isa import Instr, MemRef
+from .base import MicroKernel
+
+M_R = 8
+N_R = 4
+
+#: raw-load and widened registers for the two software-pipeline groups
+_GROUPS = (
+    {"a_raw": "v2", "b_raw": "v3", "a_wide": "v0", "b_wide": "v1"},
+    {"a_raw": "v4", "b_raw": "v5", "a_wide": "v6", "b_wide": "v7"},
+)
+
+
+def _acc(j: int, half: int) -> str:
+    """int32 accumulator for column j, rows ``4*half .. 4*half+3``."""
+    return f"v{8 + 2 * j + half}"
+
+
+def generate_ncnn_kernel(k: int, *, interleave: bool = True) -> MicroKernel:
+    """Generate the ncnn-like 8-bit stream for an 8x4 tile over ``k``.
+
+    The packed B panel must carry 4 bytes of slack beyond ``k * 4`` (the
+    8-byte B load of the final step reads past the last row).
+    """
+    if k <= 0:
+        raise ShapeError(f"k must be positive, got {k}")
+
+    out: list[Instr] = []
+    for j in range(N_R):
+        for h in range(2):
+            out.append(Instr("MOVI_ZERO", dst=(_acc(j, h),)))
+    out.append(Instr("MOV_X_IMM", dst=("x9",), imm=k))
+
+    def emit_loads_widen(step: int, g: int) -> None:
+        grp = _GROUPS[g]
+        out.append(Instr("LD1_8B", dst=(grp["a_raw"],), mem=MemRef("A", step * M_R)))
+        out.append(Instr("LD1_8B", dst=(grp["b_raw"],), mem=MemRef("B", step * N_R)))
+        out.append(Instr("SSHLL_8H", dst=(grp["a_wide"],), src=(grp["a_raw"],)))
+        out.append(Instr("SSHLL_8H", dst=(grp["b_wide"],), src=(grp["b_raw"],)))
+
+    def emit_macs(g: int) -> None:
+        grp = _GROUPS[g]
+        for j in range(N_R):
+            out.append(
+                Instr("SMLAL_4S_LANE", dst=(_acc(j, 0),),
+                      src=(grp["a_wide"], grp["b_wide"]), lane=j)
+            )
+            out.append(
+                Instr("SMLAL2_4S_LANE", dst=(_acc(j, 1),),
+                      src=(grp["a_wide"], grp["b_wide"]), lane=j)
+            )
+
+    if interleave:
+        emit_loads_widen(0, 0)
+        for s in range(k):
+            g = s % 2
+            if s + 1 < k:
+                emit_loads_widen(s + 1, 1 - g)
+            emit_macs(g)
+    else:
+        for s in range(k):
+            emit_loads_widen(s, 0)
+            emit_macs(0)
+    out.append(Instr("SUBS", dst=("x9",), src=("x9",), imm=k))
+    out.append(Instr("B_NE"))
+
+    for j in range(N_R):
+        for h in range(2):
+            out.append(
+                Instr("ST1_16B", src=(_acc(j, h),),
+                      mem=MemRef("C", (j * M_R + 4 * h) * 4))
+            )
+
+    return MicroKernel(
+        name="ncnn8",
+        stream=tuple(out),
+        m_r=M_R,
+        n_r=N_R,
+        k=k,
+        bits=8,
+        a_bytes=k * M_R,
+        b_bytes=k * N_R + 4,  # slack for the 8-byte load of the last step
+        c_bytes=M_R * N_R * 4,
+    )

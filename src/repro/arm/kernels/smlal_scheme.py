@@ -1,0 +1,178 @@
+"""The 4~8-bit GEMM micro-kernel (Alg. 1): SMLAL + SADDW with register
+allocation tailored to the scheme.
+
+Register allocation (Sec. 3.3):
+
+* ``v0``/``v1``        — Matrix A column buffers (software-pipelined pair),
+* ``v2~v5``/``v6~v9``  — Matrix B replicated-row buffers (two groups),
+* ``v10~v17``          — int16 partial accumulators (col j in v10+2j/v11+2j),
+* ``v18~v31``          — 56 of the 64 int32 accumulators,
+* ``x0~x3``            — the remaining 8 int32 accumulators (col 3, rows
+  8~15), shuttled through ``v0``/``v1`` by the MOV dance of Alg. 1
+  lines 10-13.
+
+The tile is 16x4 (``n_a = 16`` rows from a packed A panel, ``n_b = 4``
+columns from a packed B panel).  Every K step costs one ``LD1`` (16 A
+bytes), one ``LD4R`` (4 B bytes replicated) and 8 ``SMLAL``/``SMLAL2``
+(64 MACs).  After ``round_interval(bits)`` steps — the paper's unroll
+factor, always <= the safe chain length — the int16 lanes are drained into
+the int32 accumulators with 16 ``SADDW``/``SADDW2``.
+
+Deviation noted in DESIGN.md: Alg. 1's listing clobbers the prefetched
+``v0``/``v1`` in its drain, which cannot be literally correct; we restart
+the load pipeline at each drained block boundary instead.
+"""
+
+from __future__ import annotations
+
+from ...errors import ShapeError, UnsupportedBitsError
+from ..isa import Instr, MemRef
+from ..ratios import SMLAL_SCHEME_BITS, round_interval, smlal_chain_length
+from .base import MicroKernel
+
+M_R = 16
+N_R = 4
+
+#: int16 accumulator register for (column j, row half h): v10+2j+h
+_ACC16 = {(j, h): f"v{10 + 2 * j + h}" for j in range(N_R) for h in range(2)}
+
+
+def _acc32_reg(slot_group: int) -> str | None:
+    """int32 accumulator v-register covering slots 4g..4g+3, or None for
+    the x-register spill region (slot groups 14, 15 = col 3 rows 8..15)."""
+    if slot_group < 14:
+        return f"v{18 + slot_group}"
+    return None
+
+
+def _emit_macs(out: list[Instr], a_reg: str, b_regs: list[str]) -> None:
+    """8 MACs instructions: SMLAL/SMLAL2 of one A column against 4 B values."""
+    for j in range(N_R):
+        out.append(Instr("SMLAL_8H", dst=(_ACC16[(j, 0)],), src=(a_reg, b_regs[j])))
+        out.append(Instr("SMLAL2_8H", dst=(_ACC16[(j, 1)],), src=(a_reg, b_regs[j])))
+
+
+def _emit_drain(out: list[Instr]) -> None:
+    """Drain all int16 accumulators into the int32 accumulators (Alg. 1
+    lines 9-13), then clear the int16 lanes."""
+    # restore the spilled col-3/rows-8..15 accumulators into v0, v1
+    out.append(Instr("MOV_X_TO_V", dst=("v0",), src=("x0",), lane=0))
+    out.append(Instr("MOV_X_TO_V", dst=("v0",), src=("x1",), lane=1))
+    out.append(Instr("MOV_X_TO_V", dst=("v1",), src=("x2",), lane=0))
+    out.append(Instr("MOV_X_TO_V", dst=("v1",), src=("x3",), lane=1))
+    for j in range(N_R):
+        for h in range(2):  # h=0: rows 0-7, h=1: rows 8-15
+            src16 = _ACC16[(j, h)]
+            base_slot = j * M_R + h * 8  # first of 8 int32 slots
+            g0, g1 = base_slot // 4, base_slot // 4 + 1
+            d0 = _acc32_reg(g0) or ("v0" if g0 == 14 else "v1")
+            d1 = _acc32_reg(g1) or ("v0" if g1 == 14 else "v1")
+            out.append(Instr("SADDW_4S", dst=(d0,), src=(d0, src16)))
+            out.append(Instr("SADDW2_4S", dst=(d1,), src=(d1, src16)))
+    out.append(Instr("MOV_V_TO_X", dst=("x0",), src=("v0",), lane=0))
+    out.append(Instr("MOV_V_TO_X", dst=("x1",), src=("v0",), lane=1))
+    out.append(Instr("MOV_V_TO_X", dst=("x2",), src=("v1",), lane=0))
+    out.append(Instr("MOV_V_TO_X", dst=("x3",), src=("v1",), lane=1))
+    for j in range(N_R):
+        for h in range(2):
+            out.append(Instr("MOVI_ZERO", dst=(_ACC16[(j, h)],)))
+
+
+def generate_smlal_kernel(
+    bits: int,
+    k: int,
+    *,
+    interleave: bool = True,
+    round_steps: int | None = None,
+) -> MicroKernel:
+    """Generate the Alg. 1 stream for a 16x4 tile over reduction length ``k``.
+
+    Parameters
+    ----------
+    bits:
+        Operand width, 4..8.  Sets the drain interval (= unroll factor).
+    k:
+        Reduction length (the packed panels hold ``k`` steps).
+    interleave:
+        Software-pipeline the ``{LD1, LD4R}`` pair of step *s+1* ahead of
+        the MACs of step *s* (the paper's prefetch interleaving).  Turning
+        this off is the ablation knob for Fig. 7's analysis.
+    round_steps:
+        Override the drain interval (tests use this to build deliberately
+        overflowing chains).  Must be >= 1.
+    """
+    if bits not in SMLAL_SCHEME_BITS:
+        raise UnsupportedBitsError(bits, "SMLAL scheme covers 4~8-bit")
+    if k <= 0:
+        raise ShapeError(f"k must be positive, got {k}")
+    interval = round_steps if round_steps is not None else round_interval(bits)
+    if interval < 1:
+        raise ShapeError(f"round interval must be >= 1, got {interval}")
+
+    out: list[Instr] = []
+    # prologue: clear every accumulator
+    for j in range(N_R):
+        for h in range(2):
+            out.append(Instr("MOVI_ZERO", dst=(_ACC16[(j, h)],)))
+    for g in range(14):
+        out.append(Instr("MOVI_ZERO", dst=(f"v{18 + g}",)))
+    for i in range(4):
+        out.append(Instr("MOV_X_IMM", dst=(f"x{i}",), imm=0))
+    out.append(Instr("MOV_X_IMM", dst=("x9",), imm=k))  # loop counter
+
+    a_regs = ("v0", "v1")
+    b_groups = (["v2", "v3", "v4", "v5"], ["v6", "v7", "v8", "v9"])
+
+    def emit_loads(step: int, group: int) -> None:
+        out.append(Instr("LD1_16B", dst=(a_regs[group],),
+                         mem=MemRef("A", step * M_R)))
+        out.append(Instr("LD4R_B", dst=tuple(b_groups[group]),
+                         mem=MemRef("B", step * N_R)))
+
+    step = 0
+    while step < k:
+        block = min(interval, k - step)
+        if interleave:
+            emit_loads(step, 0)  # block prologue: fill group 0
+            for s in range(block):
+                group = s % 2
+                if s + 1 < block:
+                    emit_loads(step + s + 1, 1 - group)  # prefetch next step
+                _emit_macs(out, a_regs[group], b_groups[group])
+        else:
+            for s in range(block):
+                emit_loads(step + s, 0)
+                _emit_macs(out, a_regs[0], b_groups[0])
+        step += block
+        _emit_drain(out)
+        out.append(Instr("SUBS", dst=("x9",), src=("x9",), imm=block))
+        out.append(Instr("B_NE"))
+
+    # epilogue: merge the x-spilled accumulators and store C column-major
+    for g in range(14):
+        out.append(
+            Instr("ST1_16B", src=(f"v{18 + g}",), mem=MemRef("C", g * 16))
+        )
+    out.append(Instr("MOV_X_TO_V", dst=("v0",), src=("x0",), lane=0))
+    out.append(Instr("MOV_X_TO_V", dst=("v0",), src=("x1",), lane=1))
+    out.append(Instr("MOV_X_TO_V", dst=("v1",), src=("x2",), lane=0))
+    out.append(Instr("MOV_X_TO_V", dst=("v1",), src=("x3",), lane=1))
+    out.append(Instr("ST1_16B", src=("v0",), mem=MemRef("C", 14 * 16)))
+    out.append(Instr("ST1_16B", src=("v1",), mem=MemRef("C", 15 * 16)))
+
+    return MicroKernel(
+        name=f"smlal{bits}",
+        stream=tuple(out),
+        m_r=M_R,
+        n_r=N_R,
+        k=k,
+        bits=bits,
+        a_bytes=k * M_R,
+        b_bytes=k * N_R,
+        c_bytes=M_R * N_R * 4,
+    )
+
+
+def theoretical_chain(bits: int) -> int:
+    """Expose the safe chain length for documentation/reporting."""
+    return smlal_chain_length(bits)

@@ -1,0 +1,96 @@
+"""Overflow-safe accumulation chain lengths (Sec. 3.3).
+
+For two ``b``-bit signed operands the paper executes
+
+    floor( (2**15 - 1) / max|product| )
+
+``SMLAL`` instructions before draining the int16 accumulator with
+``SADDW`` (and the analogue with int8 accumulators for ``MLA``).  The
+worst-case product uses the *scheme* range of
+:func:`repro.quant.ranges.scheme_qrange` — full two's-complement for
+2~6-bit, adjusted symmetric for 7~8-bit — which reproduces the published
+ratio table exactly:
+
+=====  ==========================  ============
+bits   SMLAL : SADDW (16-bit acc)  MLA : SADDW (8-bit acc)
+=====  ==========================  ============
+2      —                           31 : 1
+3      —                           7 : 1
+4      511 : 1                     —
+5      127 : 1                     —
+6      31 : 1                      —
+7      8 : 1                       —
+8      2 : 1                       —
+=====  ==========================  ============
+"""
+
+from __future__ import annotations
+
+from ..errors import UnsupportedBitsError
+from ..quant.ranges import max_abs_product
+
+_INT16_MAX = (1 << 15) - 1
+_INT8_MAX = (1 << 7) - 1
+
+#: bit widths served by each scheme (Sec. 3.3 / Fig. 3)
+SMLAL_SCHEME_BITS = (4, 5, 6, 7, 8)
+MLA_SCHEME_BITS = (2, 3)
+
+#: K-loop unrolling factors the paper reports for the SMLAL scheme
+UNROLL_FACTORS = {4: 32, 5: 24, 6: 16, 7: 8, 8: 2}
+
+
+def smlal_chain_length(bits: int, *, adjusted: bool | None = None) -> int:
+    """Safe number of SMLAL products chained in an int16 accumulator lane."""
+    if bits not in SMLAL_SCHEME_BITS:
+        raise UnsupportedBitsError(bits, "SMLAL scheme covers 4~8-bit")
+    n = _INT16_MAX // max_abs_product(bits, adjusted)
+    if n < 1:
+        raise UnsupportedBitsError(bits, "no safe SMLAL chain at this range")
+    return n
+
+
+def mla_chain_length(bits: int, *, adjusted: bool | None = None) -> int:
+    """Safe number of MLA products chained in an int8 accumulator lane."""
+    if bits not in MLA_SCHEME_BITS:
+        raise UnsupportedBitsError(bits, "MLA scheme covers 2~3-bit")
+    n = _INT8_MAX // max_abs_product(bits, adjusted)
+    if n < 1:
+        raise UnsupportedBitsError(bits, "no safe MLA chain at this range")
+    return n
+
+
+def chain_length(bits: int) -> int:
+    """Chain length under whichever scheme serves ``bits`` (Fig. 3)."""
+    if bits in MLA_SCHEME_BITS:
+        return mla_chain_length(bits)
+    return smlal_chain_length(bits)
+
+
+def saddw_second_level_interval(bits: int) -> int:
+    """MLA scheme only: safe number of *first-level drains* an int16 lane
+    absorbs before it must be widened to int32 (the second SADDW level).
+
+    Each first-level drain adds at most ``chain * max|product|`` to an int16
+    lane, so the int16 lane survives ``floor(INT16_MAX / that)`` drains.
+    """
+    if bits not in MLA_SCHEME_BITS:
+        raise UnsupportedBitsError(bits, "second-level drain is an MLA-scheme concept")
+    per_drain = mla_chain_length(bits) * max_abs_product(bits, None)
+    return _INT16_MAX // per_drain
+
+
+def round_interval(bits: int) -> int:
+    """How many K-steps the generated kernels run between drain rounds.
+
+    SMLAL scheme: the paper's unroll factor (always <= the chain length, as
+    a test asserts).  MLA scheme: the chain length itself.
+    """
+    if bits in MLA_SCHEME_BITS:
+        return mla_chain_length(bits)
+    return min(UNROLL_FACTORS[bits], smlal_chain_length(bits))
+
+
+def chain_table() -> dict[int, int]:
+    """The published table, as data: {bits: chain_length}."""
+    return {b: chain_length(b) for b in (*MLA_SCHEME_BITS, *SMLAL_SCHEME_BITS)}

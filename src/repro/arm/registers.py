@@ -1,0 +1,91 @@
+"""Architectural register file of the simulated ARMv8 core.
+
+32 x 128-bit vector registers and 31 x 64-bit general registers (Sec. 2.3).
+Vector registers are stored as raw bytes; typed views expose the NEON lane
+interpretations the instructions use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+class RegisterFile:
+    """Byte-backed register state with typed lane views."""
+
+    NUM_V = 32
+    NUM_X = 31
+
+    def __init__(self) -> None:
+        self._v = np.zeros((self.NUM_V, 16), dtype=np.uint8)
+        self._x = np.zeros(self.NUM_X, dtype=np.uint64)
+
+    # ---- name resolution ----------------------------------------------------
+
+    @staticmethod
+    def _vidx(name: str) -> int:
+        if not name.startswith("v"):
+            raise SimulationError(f"{name!r} is not a vector register")
+        i = int(name[1:])
+        if not 0 <= i < RegisterFile.NUM_V:
+            raise SimulationError(f"vector register {name!r} out of range")
+        return i
+
+    @staticmethod
+    def _xidx(name: str) -> int:
+        if not name.startswith("x"):
+            raise SimulationError(f"{name!r} is not a general register")
+        i = int(name[1:])
+        if not 0 <= i < RegisterFile.NUM_X:
+            raise SimulationError(f"general register {name!r} out of range")
+        return i
+
+    # ---- vector lane views (mutating these mutates the register) ------------
+
+    def v_bytes(self, name: str) -> np.ndarray:
+        return self._v[self._vidx(name)]
+
+    def v_i8(self, name: str) -> np.ndarray:
+        """16 signed-byte lanes."""
+        return self._v[self._vidx(name)].view(np.int8)
+
+    def v_i16(self, name: str) -> np.ndarray:
+        """8 int16 lanes."""
+        return self._v[self._vidx(name)].view(np.int16)
+
+    def v_i32(self, name: str) -> np.ndarray:
+        """4 int32 lanes."""
+        return self._v[self._vidx(name)].view(np.int32)
+
+    def v_u8(self, name: str) -> np.ndarray:
+        return self._v[self._vidx(name)]
+
+    def v_u16(self, name: str) -> np.ndarray:
+        return self._v[self._vidx(name)].view(np.uint16)
+
+    def v_i64(self, name: str) -> np.ndarray:
+        """2 int64 halves (used by the MOV v<->x transfers)."""
+        return self._v[self._vidx(name)].view(np.int64)
+
+    # ---- general registers ---------------------------------------------------
+
+    def x_get(self, name: str) -> int:
+        return int(self._x[self._xidx(name)])
+
+    def x_set(self, name: str, value: int) -> None:
+        self._x[self._xidx(name)] = np.uint64(value & 0xFFFF_FFFF_FFFF_FFFF)
+
+    def x_i64(self, name: str) -> int:
+        """Signed interpretation of an x register."""
+        return int(self._x[self._xidx(name)].astype(np.int64))
+
+    # ---- whole-file helpers ---------------------------------------------------
+
+    def reset(self) -> None:
+        self._v[:] = 0
+        self._x[:] = 0
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        return {"v": self._v.copy(), "x": self._x.copy()}

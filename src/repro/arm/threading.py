@@ -1,0 +1,69 @@
+"""Multi-core scaling model for the ARM layer costs.
+
+The paper evaluates single-threaded kernels (batch 1 on an edge device);
+the Pi 3B has four A53 cores, so a library release needs a defensible
+answer to "what does -j4 buy?".  The model splits an
+:class:`~repro.arm.conv_runner.ArmConvPerf` into
+
+* *parallel* work (kernel tiles, im2col, packing, requantize, quantize) —
+  scales with threads at a per-thread efficiency (work imbalance across
+  tile remainders, barrier waits), and
+* *shared* work (the DRAM/L2 traffic term and the per-layer overhead,
+  which grows with thread coordination) — the classic reason low-bit
+  kernels saturate earlier than their arithmetic suggests: the memory
+  system is one resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..errors import ReproError
+from .conv_runner import ArmConvPerf
+from .cost_model import PI3B, ArmMachine
+
+#: physical core count of the Raspberry Pi 3B
+MAX_THREADS = 4
+
+
+def scale_to_threads(
+    perf: ArmConvPerf,
+    threads: int,
+    *,
+    machine: ArmMachine = PI3B,
+    parallel_efficiency: float = 0.92,
+    sync_overhead_per_thread: float = 0.10,
+) -> ArmConvPerf:
+    """Re-price a layer for ``threads`` cores.
+
+    ``parallel_efficiency`` is the per-added-thread retention of the
+    compute-bound components; the memory term does not scale (shared
+    DRAM), and the fixed overhead grows with fork/join coordination.
+    """
+    if not 1 <= threads <= MAX_THREADS:
+        raise ReproError(f"threads must be in [1, {MAX_THREADS}], got {threads}")
+    if threads == 1:
+        return perf
+    speedup = threads * parallel_efficiency ** (threads - 1)
+    coord = 1.0 + sync_overhead_per_thread * (threads - 1)
+    return replace(
+        perf,
+        kernel_cycles=perf.kernel_cycles / speedup,
+        im2col_cycles=perf.im2col_cycles / speedup,
+        pack_cycles=perf.pack_cycles / speedup,
+        requant_cycles=perf.requant_cycles / speedup,
+        quant_cycles=perf.quant_cycles / speedup,
+        mem_cycles=perf.mem_cycles,  # one memory system
+        overhead_cycles=perf.overhead_cycles * coord,
+    )
+
+
+def thread_scaling_curve(
+    perf: ArmConvPerf, *, machine: ArmMachine = PI3B
+) -> dict[int, float]:
+    """Speedup over single-thread for 1..4 cores."""
+    base = perf.total_cycles
+    return {
+        t: base / scale_to_threads(perf, t, machine=machine).total_cycles
+        for t in range(1, MAX_THREADS + 1)
+    }

@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show every reproducible artifact.
+``reproduce <artifact> [--model M] [--batch B]``
+    Regenerate one paper table/figure and print it.
+``layers <model>``
+    Print a model's unique conv layer table.
+``chains``
+    Print the Sec. 3.3 accumulation-chain table.
+``kernel <scheme> <bits> <k>``
+    Generate a micro-kernel, print its opcode histogram, cycle estimate
+    and (with ``--listing``) the full instruction listing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.report import Series, format_table
+
+
+def _figure_registry():
+    from . import figures as F
+
+    return {
+        "fig7": lambda a: F.fig7_arm_speedups(a.model, batch=a.batch),
+        "fig8": lambda a: F.fig8_arm_winograd(a.model),
+        "fig9": lambda a: F.fig9_arm_popcount(a.model),
+        "fig10": lambda a: F.fig10_gpu_speedups(a.model, batch=a.batch),
+        "fig11": lambda a: F.fig11_gpu_autotune(a.model, batch=a.batch),
+        "fig12": lambda a: F.fig12_gpu_fusion(a.model, batch=a.batch),
+        "fig13": lambda a: F.fig13_space_overhead(a.model),
+        "fig14": lambda a: F.fig14_arm_densenet(),
+        "fig15": lambda a: F.fig15_arm_scr(),
+        "fig16": lambda a: F.fig16_gpu_scr(),
+        "fig17": lambda a: F.fig17_gpu_densenet(),
+    }
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("reproducible artifacts:")
+    for name in sorted(_figure_registry()):
+        print(f"  {name}")
+    print("  tab1  (via: python -m repro reproduce tab1)")
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    if args.artifact == "tab1":
+        import json
+
+        from .figures import tab1_configurations
+
+        print(json.dumps(tab1_configurations(), indent=2))
+        return 0
+    registry = _figure_registry()
+    if args.artifact not in registry:
+        print(f"unknown artifact {args.artifact!r}; try: python -m repro list",
+              file=sys.stderr)
+        return 2
+    data = registry[args.artifact](args)
+    series = list(data.series) + [Series(data.baseline_label, data.baseline_times)]
+    print(f"== {data.figure} ==")
+    print(format_table(list(data.labels), series))
+    return 0
+
+
+def cmd_layers(args: argparse.Namespace) -> int:
+    from .models import get_model_layers
+
+    for spec in get_model_layers(args.model, batch=args.batch):
+        print(spec.describe())
+    return 0
+
+
+def cmd_chains(args: argparse.Namespace) -> int:
+    from .arm.ratios import chain_table
+
+    print("bits  scheme  chain : drain")
+    for bits, chain in sorted(chain_table().items()):
+        scheme = "MLA" if bits in (2, 3) else "SMLAL"
+        print(f"{bits:>4}  {scheme:>6}  {chain} : 1")
+    return 0
+
+
+def cmd_kernel(args: argparse.Namespace) -> int:
+    from .arm.cost_model import _generate
+
+    kern = _generate(args.scheme, args.bits, args.k, True, None)
+    print(f"{kern.name}: {kern.m_r}x{kern.n_r} tile over K={kern.k}")
+    print("opcode histogram:")
+    for op, count in sorted(kern.summary().items()):
+        print(f"  {op:<16} {count}")
+    perf = kern.cycles()
+    print(f"pipeline estimate: {perf.cycles} cycles, IPC {perf.ipc:.2f}, "
+          f"{kern.mac_lanes / perf.cycles:.2f} MACs/cycle")
+    if args.listing:
+        print("\nlisting:")
+        for ins in kern.stream:
+            print(f"  {ins.render()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the ICPP'20 extremely-low-bit convolution paper",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show reproducible artifacts").set_defaults(
+        fn=cmd_list)
+
+    rp = sub.add_parser("reproduce", help="regenerate one table/figure")
+    rp.add_argument("artifact", help="fig7..fig17 or tab1")
+    rp.add_argument("--model", default="resnet50",
+                    choices=["resnet50", "scr-resnet50", "densenet121"])
+    rp.add_argument("--batch", type=int, default=1)
+    rp.set_defaults(fn=cmd_reproduce)
+
+    lp = sub.add_parser("layers", help="print a model's conv table")
+    lp.add_argument("model",
+                    choices=["resnet50", "scr-resnet50", "densenet121"])
+    lp.add_argument("--batch", type=int, default=1)
+    lp.set_defaults(fn=cmd_layers)
+
+    sub.add_parser("chains", help="print the Sec. 3.3 chain table"
+                   ).set_defaults(fn=cmd_chains)
+
+    kp = sub.add_parser("kernel", help="inspect a generated micro-kernel")
+    kp.add_argument("scheme",
+                    choices=["smlal", "mla", "ncnn", "sdot", "popcount"])
+    kp.add_argument("bits", type=int)
+    kp.add_argument("k", type=int)
+    kp.add_argument("--listing", action="store_true",
+                    help="print the full instruction stream")
+    kp.set_defaults(fn=cmd_kernel)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `python -m repro ... | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Convolution algorithms (functional layer, bit-exact integer arithmetic).
+
+Every algorithm here computes the *same* int32 result as the golden direct
+convolution (:func:`repro.conv.ref.conv2d_ref`); the architecture backends
+in :mod:`repro.arm` and :mod:`repro.gpu` reuse these as their functional
+semantics while adding performance models on top.
+"""
+
+from .ref import conv2d_ref
+from .im2col import im2col, im2col_nhwc, weight_matrix, output_from_gemm
+from .gemm_conv import conv2d_gemm
+from .winograd import (
+    conv2d_winograd,
+    winograd_transform_weight,
+    winograd_transform_input,
+    winograd_range_report,
+    WinogradRangeReport,
+)
+from .popcount import conv2d_bitserial, to_bitplanes, from_bitplanes
+from .fft import conv2d_fft, fft_exactness_margin
+from .padding import pad_matrix, pack_a, pack_b, PackedGemm, pack_gemm_operands
+from .registry import ALGORITHMS, get_algorithm, conv2d
+
+__all__ = [
+    "conv2d_ref",
+    "im2col",
+    "im2col_nhwc",
+    "weight_matrix",
+    "output_from_gemm",
+    "conv2d_gemm",
+    "conv2d_winograd",
+    "winograd_transform_weight",
+    "winograd_transform_input",
+    "winograd_range_report",
+    "WinogradRangeReport",
+    "conv2d_bitserial",
+    "conv2d_fft",
+    "fft_exactness_margin",
+    "to_bitplanes",
+    "from_bitplanes",
+    "pad_matrix",
+    "pack_a",
+    "pack_b",
+    "PackedGemm",
+    "pack_gemm_operands",
+    "ALGORITHMS",
+    "get_algorithm",
+    "conv2d",
+]

@@ -1,0 +1,100 @@
+"""FFT-based convolution (Sec. 2.2's third algorithm family).
+
+"The FFT-based convolution algorithm uses FFT, IFFT, and GEMM operations
+to speedup convolution calculations, which achieves better performance
+with large kernels, and has been used in cuDNN."  The paper does not adopt
+it for low-bit work (frequency-domain data is irreducibly floating-point),
+but it belongs in the algorithm substrate: this implementation computes
+the cross-correlation in the frequency domain and rounds back to integers,
+with an explicit bound on when that rounding is exact.
+
+Exactness: the result of the integer convolution is an integer ``y``; the
+FFT path computes ``y + eps`` with ``|eps| <~ machine_eps * K * max|x| *
+max|w| * log-ish factors``.  ``fft_exactness_margin`` estimates the bound;
+while it stays below 0.5 the rounded result is bit-exact — tests certify
+this on the supported range and the function refuses clearly beyond it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..types import ConvSpec, Layout
+
+
+def fft_exactness_margin(spec: ConvSpec, max_abs_x: int, max_abs_w: int) -> float:
+    """Crude upper estimate of the FFT path's absolute rounding error.
+
+    ``eps ~= machine_eps * sqrt(K * log2(P)) * K * max|x| * max|w|`` with
+    K the reduction length and P the padded FFT plane size; the constant
+    is pessimistic on purpose (the test suite checks the *decision* this
+    margin drives, not the estimate's tightness).
+    """
+    k = spec.gemm_k
+    plane = (spec.height + spec.kernel[0]) * (spec.width + spec.kernel[1])
+    eps = np.finfo(np.float64).eps
+    return float(eps * k * max_abs_x * max_abs_w * np.sqrt(np.log2(plane) + 1) * 8)
+
+
+def conv2d_fft(
+    spec: ConvSpec,
+    x: np.ndarray,
+    w: np.ndarray,
+    *,
+    layout: Layout = Layout.NCHW,
+    bias: np.ndarray | None = None,
+    check_exact: bool = True,
+) -> np.ndarray:
+    """Cross-correlation through the frequency domain, rounded to integers.
+
+    Raises :class:`ShapeError` when ``check_exact`` and the operand ranges
+    leave no exactness margin (the caller should use a spatial algorithm).
+    """
+    if layout is not Layout.NCHW:
+        raise ShapeError("FFT path implemented for NCHW")
+    x = np.asarray(x)
+    w = np.asarray(w)
+    if not np.issubdtype(x.dtype, np.integer) or not np.issubdtype(w.dtype, np.integer):
+        raise ShapeError("conv2d_fft operates on integer (quantized) tensors")
+    if x.shape != spec.input_shape(Layout.NCHW):
+        raise ShapeError(f"{spec.name}: input {x.shape}")
+    if w.shape != spec.weight_shape(Layout.NCHW):
+        raise ShapeError(f"{spec.name}: weight {w.shape}")
+    if spec.groups != 1:
+        raise ShapeError("FFT path supports groups=1")
+    if check_exact:
+        mx = int(np.max(np.abs(x))) if x.size else 0
+        mw = int(np.max(np.abs(w))) if w.size else 0
+        if fft_exactness_margin(spec, max(mx, 1), max(mw, 1)) >= 0.5:
+            raise ShapeError(
+                f"{spec.name}: operand ranges too large for exact FFT rounding"
+            )
+
+    n, cin, h, wd = x.shape
+    cout, _, kh, kw = w.shape
+    ph, pw = spec.padding
+    sh, sw = spec.stride
+    oh, ow = spec.out_height, spec.out_width
+
+    # full cross-correlation plane via zero-padded FFTs
+    fh, fw = h + 2 * ph + kh - 1, wd + 2 * pw + kw - 1
+    xp = np.zeros((n, cin, h + 2 * ph, wd + 2 * pw))
+    xp[:, :, ph : ph + h, pw : pw + wd] = x
+    xf = np.fft.rfftn(xp, s=(fh, fw), axes=(2, 3))
+    # cross-correlation = convolution with the flipped kernel
+    wf = np.fft.rfftn(w[:, :, ::-1, ::-1].astype(np.float64),
+                      s=(fh, fw), axes=(2, 3))
+    # frequency-domain channel reduction: the 'GEMM' stage of the algorithm
+    yf = np.einsum("nifw,oifw->nofw", xf, wf, optimize=True)
+    full = np.fft.irfftn(yf, s=(fh, fw), axes=(2, 3))
+    # 'valid' region starts at (kh-1, kw-1) in full-correlation coordinates
+    valid = full[:, :, kh - 1 : kh - 1 + sh * oh : sh,
+                 kw - 1 : kw - 1 + sw * ow : sw]
+    out = np.rint(valid).astype(np.int64)
+    if bias is not None:
+        bias = np.asarray(bias, dtype=np.int64)
+        if bias.shape != (cout,):
+            raise ShapeError(f"bias shape {bias.shape} != ({cout},)")
+        out = out + bias[None, :, None, None]
+    return out

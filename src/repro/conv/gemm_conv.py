@@ -1,0 +1,80 @@
+"""Explicit-GEMM convolution (the ARM path's algorithm, Sec. 2.2 / 3.2).
+
+Functional layer only: exact int64 accumulation through the padded/packed
+operands — the same data movement the ARM kernels perform, minus the
+instruction-level detail (which lives in :mod:`repro.arm`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..types import ConvSpec, Layout
+from .im2col import im2col, output_from_gemm, weight_matrix
+from .padding import pack_gemm_operands, unpack_c
+
+
+def gemm_packed(a: np.ndarray, b: np.ndarray, n_a: int = 16, n_b: int = 4) -> np.ndarray:
+    """GEMM through the Fig. 2 padded/packed buffers, panel by panel.
+
+    Walks the exact panel structure the micro-kernel walks: for each
+    (A-panel, B-panel) pair, accumulate over K with the packed contiguous
+    slices. Vectorized within a panel pair.
+    """
+    packed = pack_gemm_operands(a, b, n_a, n_b)
+    c = np.zeros((packed.m_padded, packed.n_padded), dtype=np.int64)
+    for pi in range(packed.m_panels):
+        a_panel = packed.a_panel(pi).astype(np.int64)  # (K, n_a)
+        for pj in range(packed.n_panels):
+            b_panel = packed.b_panel(pj).astype(np.int64)  # (K, n_b)
+            # outer-product accumulation over K: (n_a, n_b) tile
+            tile = np.einsum("ka,kb->ab", a_panel, b_panel, optimize=True)
+            c[pi * n_a : (pi + 1) * n_a, pj * n_b : (pj + 1) * n_b] = tile
+    return unpack_c(c, packed.m, packed.n)
+
+
+def conv2d_gemm(
+    spec: ConvSpec,
+    x: np.ndarray,
+    w: np.ndarray,
+    *,
+    layout: Layout = Layout.NCHW,
+    bias: np.ndarray | None = None,
+    n_a: int = 16,
+    n_b: int = 4,
+) -> np.ndarray:
+    """Explicit-GEMM convolution: im2col -> pad/pack -> panel GEMM.
+
+    Grouped convolutions (incl. depthwise) run one independent GEMM per
+    group — exactly what a GEMM-based runtime must do, and why depthwise
+    layers suit it poorly (see repro.models.mobilenetv1).
+    """
+    if layout is not Layout.NCHW:
+        raise ShapeError("explicit-GEMM path is the ARM (NCHW) algorithm")
+    if spec.groups > 1:
+        from dataclasses import replace as _replace
+
+        g = spec.groups
+        cin_g, cout_g = spec.in_channels // g, spec.out_channels // g
+        sub = _replace(spec, in_channels=cin_g, out_channels=cout_g, groups=1)
+        outs = []
+        for gi in range(g):
+            xg = np.ascontiguousarray(x[:, gi * cin_g : (gi + 1) * cin_g])
+            wg = np.ascontiguousarray(w[gi * cout_g : (gi + 1) * cout_g])
+            bg = None if bias is None else np.asarray(bias)[
+                gi * cout_g : (gi + 1) * cout_g]
+            outs.append(conv2d_gemm(sub, xg, wg, bias=bg, n_a=n_a, n_b=n_b))
+        return np.concatenate(outs, axis=1)
+    a = weight_matrix(spec, w)
+    cols = im2col(spec, x)  # (batch, K, N)
+    outs = []
+    for img in range(spec.batch):
+        outs.append(gemm_packed(a, cols[img], n_a=n_a, n_b=n_b))
+    c = np.stack(outs, axis=0)
+    if bias is not None:
+        bias = np.asarray(bias, dtype=np.int64)
+        if bias.shape != (spec.out_channels,):
+            raise ShapeError(f"bias shape {bias.shape} != ({spec.out_channels},)")
+        c = c + bias[None, :, None]
+    return output_from_gemm(spec, c, layout=Layout.NCHW)

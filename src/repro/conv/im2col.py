@@ -1,0 +1,118 @@
+"""im2col / matrix views for GEMM-based convolution (Sec. 2.2).
+
+The explicit-GEMM convolution (ARM path) lowers
+
+    out[n, co, y, x] = sum_{ci,i,j} w[co, ci, i, j] * in[n, ci, y*s+i-p, x*s+j-p]
+
+to ``C[M, N] = A[M, K] @ B[K, N]`` with
+
+    A = weight matrix            (M = Cout,        K = Cin*kh*kw)
+    B = im2col(input) per image  (K = Cin*kh*kw,   N = OH*OW)
+
+K-axis ordering is ``(ci, i, j)`` — channel-major, matching NCHW weights —
+so :func:`weight_matrix` is a plain reshape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..types import ConvSpec, Layout
+
+
+def _padded(spec: ConvSpec, x_nchw: np.ndarray) -> np.ndarray:
+    n, c, h, w = x_nchw.shape
+    ph, pw = spec.padding
+    if ph == 0 and pw == 0:
+        return x_nchw
+    xp = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=x_nchw.dtype)
+    xp[:, :, ph : ph + h, pw : pw + w] = x_nchw
+    return xp
+
+
+def im2col(spec: ConvSpec, x: np.ndarray) -> np.ndarray:
+    """NCHW im2col: returns ``(batch, K, N)`` with K = Cin*kh*kw, N = OH*OW.
+
+    Implemented with stride tricks + one gather so large layers stay fast;
+    the result is a fresh contiguous array (the kernels assume packed data).
+    """
+    if x.shape != spec.input_shape(Layout.NCHW):
+        raise ShapeError(
+            f"{spec.name}: input {x.shape} != {spec.input_shape(Layout.NCHW)}"
+        )
+    if spec.groups != 1:
+        raise ShapeError("im2col here supports groups=1 (all paper workloads)")
+    xp = _padded(spec, x)
+    n, c, hp, wp = xp.shape
+    kh, kw = spec.kernel
+    sh, sw = spec.stride
+    oh, ow = spec.out_height, spec.out_width
+
+    s0, s1, s2, s3 = xp.strides
+    view = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, c, kh, kw, oh, ow),
+        strides=(s0, s1, s2, s3, s2 * sh, s3 * sw),
+        writeable=False,
+    )
+    return np.ascontiguousarray(view.reshape(n, c * kh * kw, oh * ow))
+
+
+def im2col_nhwc(spec: ConvSpec, x: np.ndarray) -> np.ndarray:
+    """NHWC im2col: returns ``(batch*OH*OW, kh*kw*Cin)``.
+
+    This is the *row-major GEMM-B-transposed* view the GPU implicit-GEMM
+    kernel gathers on the fly (it never materializes this matrix in global
+    memory; the functional model builds it to define the exact semantics).
+    K-axis ordering is ``(i, j, ci)`` to match NHWC weights.
+    """
+    if x.shape != spec.input_shape(Layout.NHWC):
+        raise ShapeError(
+            f"{spec.name}: input {x.shape} != {spec.input_shape(Layout.NHWC)}"
+        )
+    x_nchw = np.transpose(x, (0, 3, 1, 2))
+    xp = _padded(spec, x_nchw)
+    n, c, hp, wp = xp.shape
+    kh, kw = spec.kernel
+    sh, sw = spec.stride
+    oh, ow = spec.out_height, spec.out_width
+    s0, s1, s2, s3 = xp.strides
+    view = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, oh, ow, kh, kw, c),
+        strides=(s0, s2 * sh, s3 * sw, s2, s3, s1),
+        writeable=False,
+    )
+    return np.ascontiguousarray(view.reshape(n * oh * ow, kh * kw * c))
+
+
+def weight_matrix(spec: ConvSpec, w: np.ndarray, layout: Layout = Layout.NCHW) -> np.ndarray:
+    """Weights as GEMM A matrix ``(M=Cout, K)``; K ordering matches im2col."""
+    if w.shape != spec.weight_shape(Layout.NCHW):
+        raise ShapeError(
+            f"{spec.name}: weight {w.shape} != {spec.weight_shape(Layout.NCHW)}"
+        )
+    if layout is Layout.NCHW:
+        return np.ascontiguousarray(w.reshape(spec.out_channels, -1))
+    # NHWC kernels reduce over (i, j, ci)
+    return np.ascontiguousarray(
+        np.transpose(w, (0, 2, 3, 1)).reshape(spec.out_channels, -1)
+    )
+
+
+def output_from_gemm(spec: ConvSpec, c: np.ndarray, layout: Layout = Layout.NCHW) -> np.ndarray:
+    """Fold a GEMM result back into the activation tensor.
+
+    NCHW: ``c`` is ``(batch, M, N)``; NHWC: ``c`` is ``(batch*OH*OW, M)``.
+    """
+    oh, ow = spec.out_height, spec.out_width
+    if layout is Layout.NCHW:
+        expect = (spec.batch, spec.out_channels, oh * ow)
+        if c.shape != expect:
+            raise ShapeError(f"{spec.name}: gemm result {c.shape} != {expect}")
+        return c.reshape(spec.batch, spec.out_channels, oh, ow)
+    expect = (spec.batch * oh * ow, spec.out_channels)
+    if c.shape != expect:
+        raise ShapeError(f"{spec.name}: gemm result {c.shape} != {expect}")
+    return c.reshape(spec.batch, oh, ow, spec.out_channels)

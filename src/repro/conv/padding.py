@@ -1,0 +1,152 @@
+"""Data padding and packing optimization (Sec. 3.2, Fig. 2).
+
+The ARM micro-kernel consumes ``n_a`` consecutive elements of a column of
+Matrix A and ``n_b`` consecutive elements of a row of Matrix B per step.
+When M is not a multiple of ``n_a`` (or N of ``n_b``), the matrices are
+zero-padded, then *packed* so the kernel's accesses are unit-stride:
+
+* Buffer A holds A in **column-major panels**: for each panel of ``n_a``
+  rows, the K columns are laid out consecutively, each column a contiguous
+  run of ``n_a`` elements.
+* Buffer B holds B in **row-major panels**: for each panel of ``n_b``
+  columns, the K rows are laid out consecutively, each row a contiguous run
+  of ``n_b`` elements.
+
+``PackedGemm`` also reports the exact byte counts, which feed the Fig. 13
+space-overhead analysis and the ARM cost model's packing charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..util import ceil_div, round_up
+
+
+def pad_matrix(m: np.ndarray, row_multiple: int, col_multiple: int) -> np.ndarray:
+    """Zero-pad a 2-D matrix so both dims are multiples of the given sizes."""
+    if m.ndim != 2:
+        raise ShapeError(f"pad_matrix expects a 2-D matrix, got ndim={m.ndim}")
+    rows, cols = m.shape
+    pr, pc = round_up(rows, row_multiple), round_up(cols, col_multiple)
+    if (pr, pc) == (rows, cols):
+        return m
+    out = np.zeros((pr, pc), dtype=m.dtype)
+    out[:rows, :cols] = m
+    return out
+
+
+def pack_a(a: np.ndarray, n_a: int) -> np.ndarray:
+    """Pack Matrix A (M x K) into column-major panels of ``n_a`` rows.
+
+    Result shape: ``(M/n_a panels, K, n_a)`` flattened to 1-D — each
+    ``[panel, k]`` slice is the contiguous run of ``n_a`` column elements
+    the kernel's single ``LD1`` fetches.
+    """
+    ap = pad_matrix(a, n_a, 1)
+    mp, k = ap.shape
+    panels = mp // n_a
+    # (panels, n_a, K) -> (panels, K, n_a): column-major within each panel
+    packed = ap.reshape(panels, n_a, k).transpose(0, 2, 1)
+    return np.ascontiguousarray(packed).reshape(-1)
+
+
+def pack_b(b: np.ndarray, n_b: int) -> np.ndarray:
+    """Pack Matrix B (K x N) into row-major panels of ``n_b`` columns.
+
+    Result shape: ``(N/n_b panels, K, n_b)`` flattened — each ``[panel, k]``
+    slice is the contiguous run of ``n_b`` row elements one ``LD4R``
+    broadcasts from.
+    """
+    bp = pad_matrix(b, 1, n_b)
+    k, npad = bp.shape
+    panels = npad // n_b
+    packed = bp.reshape(k, panels, n_b).transpose(1, 0, 2)
+    return np.ascontiguousarray(packed).reshape(-1)
+
+
+@dataclass(frozen=True)
+class PackedGemm:
+    """Padded-and-packed operands plus exact footprint accounting."""
+
+    a_packed: np.ndarray
+    b_packed: np.ndarray
+    m: int
+    k: int
+    n: int
+    n_a: int
+    n_b: int
+
+    @property
+    def m_padded(self) -> int:
+        return round_up(self.m, self.n_a)
+
+    @property
+    def n_padded(self) -> int:
+        return round_up(self.n, self.n_b)
+
+    @property
+    def m_panels(self) -> int:
+        return self.m_padded // self.n_a
+
+    @property
+    def n_panels(self) -> int:
+        return self.n_padded // self.n_b
+
+    @property
+    def raw_bytes(self) -> int:
+        """Unpadded operand footprint (1 byte/element, int8 storage)."""
+        return self.m * self.k + self.k * self.n
+
+    @property
+    def packed_bytes(self) -> int:
+        """Padded+packed footprint — the numerator of Fig. 13's pack bar."""
+        return self.m_padded * self.k + self.k * self.n_padded
+
+    @property
+    def pack_overhead(self) -> float:
+        """packed / raw footprint ratio (>= 1.0)."""
+        return self.packed_bytes / self.raw_bytes
+
+    def a_panel(self, panel: int) -> np.ndarray:
+        """Panel of A as a (K, n_a) contiguous block."""
+        sz = self.k * self.n_a
+        return self.a_packed[panel * sz : (panel + 1) * sz].reshape(self.k, self.n_a)
+
+    def b_panel(self, panel: int) -> np.ndarray:
+        """Panel of B as a (K, n_b) contiguous block."""
+        sz = self.k * self.n_b
+        return self.b_packed[panel * sz : (panel + 1) * sz].reshape(self.k, self.n_b)
+
+
+def pack_gemm_operands(a: np.ndarray, b: np.ndarray, n_a: int, n_b: int) -> PackedGemm:
+    """Pad and pack a GEMM's operands per Fig. 2."""
+    if a.ndim != 2 or b.ndim != 2:
+        raise ShapeError("pack_gemm_operands expects 2-D matrices")
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(f"GEMM K mismatch: A is {a.shape}, B is {b.shape}")
+    if n_a <= 0 or n_b <= 0:
+        raise ShapeError(f"panel sizes must be positive, got n_a={n_a}, n_b={n_b}")
+    m, k = a.shape
+    _, n = b.shape
+    return PackedGemm(
+        a_packed=pack_a(a, n_a),
+        b_packed=pack_b(b, n_b),
+        m=m,
+        k=k,
+        n=n,
+        n_a=n_a,
+        n_b=n_b,
+    )
+
+
+def unpack_c(c_padded: np.ndarray, m: int, n: int) -> np.ndarray:
+    """Strip the rows/cols introduced by padding from the GEMM result."""
+    if c_padded.shape[0] < m or c_padded.shape[1] < n:
+        raise ShapeError(
+            f"padded result {c_padded.shape} smaller than logical ({m}, {n})"
+        )
+    return np.ascontiguousarray(c_padded[:m, :n])

@@ -1,0 +1,104 @@
+"""Bit-serial (popcount) convolution — the TVM baseline of Fig. 9.
+
+Cowan et al. (CGO'20, the paper's [3]) generate low-bit ARM kernels that
+decompose operands into *bit planes* and reduce with ``AND`` + ``CNT``
+(population count).  For signed two's-complement values
+
+    x = -2**(b-1) * plane_{b-1} + sum_{p < b-1} 2**p * plane_p
+
+so a b_a-bit by b_w-bit convolution becomes ``b_a * b_w`` binary
+convolutions, each computable as popcount(AND) over {0,1} planes, combined
+with signed power-of-two weights:
+
+    conv(x, w) = sum_{p,q} s_p s_q 2**(p+q) binconv(xplane_p, wplane_q)
+
+This module provides the exact functional algorithm; the ARM instruction
+stream and its cost live in :mod:`repro.arm.kernels.popcount_scheme`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError, UnsupportedBitsError
+from ..types import ConvSpec, Layout
+from .im2col import im2col, output_from_gemm, weight_matrix
+
+
+def to_bitplanes(x: np.ndarray, bits: int) -> np.ndarray:
+    """Two's-complement bit planes, leading axis = plane index (LSB first).
+
+    Returns uint8 array of shape ``(bits, *x.shape)`` with {0,1} entries.
+    """
+    if bits < 1 or bits > 8:
+        raise UnsupportedBitsError(bits, "bit planes supported for 1..8 bits")
+    x = np.asarray(x)
+    if not np.issubdtype(x.dtype, np.integer):
+        raise ShapeError("to_bitplanes expects integer data")
+    half = 1 << (bits - 1)
+    if x.size and (x.min() < -half or x.max() >= half):
+        raise ShapeError(f"values outside {bits}-bit two's-complement range")
+    u = (x.astype(np.int64) & ((1 << bits) - 1)).astype(np.uint8)
+    planes = np.empty((bits,) + x.shape, dtype=np.uint8)
+    for p in range(bits):
+        planes[p] = (u >> p) & 1
+    return planes
+
+
+def from_bitplanes(planes: np.ndarray, bits: int) -> np.ndarray:
+    """Inverse of :func:`to_bitplanes` (int64 result)."""
+    if planes.shape[0] != bits:
+        raise ShapeError(f"expected {bits} planes, got {planes.shape[0]}")
+    out = np.zeros(planes.shape[1:], dtype=np.int64)
+    for p in range(bits):
+        weight = -(1 << p) if p == bits - 1 else (1 << p)
+        out += weight * planes[p].astype(np.int64)
+    return out
+
+
+def plane_weight(p: int, bits: int) -> int:
+    """Signed contribution of plane ``p`` in a ``bits``-wide value."""
+    return -(1 << p) if p == bits - 1 else (1 << p)
+
+
+def conv2d_bitserial(
+    spec: ConvSpec,
+    x: np.ndarray,
+    w: np.ndarray,
+    *,
+    layout: Layout = Layout.NCHW,
+    bits_a: int = 2,
+    bits_w: int = 2,
+    bias: np.ndarray | None = None,
+) -> np.ndarray:
+    """Bit-serial convolution, exact for signed ``bits_a``/``bits_w`` data.
+
+    Functionally: im2col once, then one binary GEMM per plane pair where
+    the binary dot product is popcount(AND) — expressed as a {0,1} matmul,
+    which is the same arithmetic the CNT instruction performs 16 bytes at
+    a time.
+    """
+    if layout is not Layout.NCHW:
+        raise ShapeError("bit-serial path is the ARM (NCHW) algorithm")
+    a = weight_matrix(spec, w)
+    cols = im2col(spec, x)  # (batch, K, N)
+    a_planes = to_bitplanes(a, bits_w)  # (bits_w, M, K)
+    outs = []
+    for img in range(spec.batch):
+        b_planes = to_bitplanes(cols[img], bits_a)  # (bits_a, K, N)
+        acc = np.zeros((spec.gemm_m, spec.gemm_n), dtype=np.int64)
+        for q in range(bits_w):
+            aq = a_planes[q].astype(np.int64)
+            for p in range(bits_a):
+                bp = b_planes[p].astype(np.int64)
+                # popcount(AND) along K == {0,1} matrix product
+                binconv = aq @ bp
+                acc += plane_weight(p, bits_a) * plane_weight(q, bits_w) * binconv
+        outs.append(acc)
+    c = np.stack(outs, axis=0)
+    if bias is not None:
+        bias = np.asarray(bias, dtype=np.int64)
+        if bias.shape != (spec.out_channels,):
+            raise ShapeError(f"bias shape {bias.shape} != ({spec.out_channels},)")
+        c = c + bias[None, :, None]
+    return output_from_gemm(spec, c, layout=Layout.NCHW)

@@ -1,0 +1,121 @@
+"""Golden reference: direct convolution by definition (Sec. 2.2).
+
+Deliberately simple and trusted; every other algorithm is validated against
+it.  Vectorized over channels so tests on realistic shapes stay fast, but
+the spatial loops follow the textbook definition verbatim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..types import ConvSpec, Layout
+
+
+def conv2d_float(
+    spec: ConvSpec,
+    x: np.ndarray,
+    w: np.ndarray,
+) -> np.ndarray:
+    """Float NCHW convolution — the full-precision reference the accuracy
+    analysis and calibration compare the quantized pipeline against."""
+    x = np.asarray(x, dtype=np.float64)
+    w = np.asarray(w, dtype=np.float64)
+    if x.shape != spec.input_shape(Layout.NCHW):
+        raise ShapeError(f"{spec.name}: input {x.shape}")
+    if w.shape != spec.weight_shape(Layout.NCHW):
+        raise ShapeError(f"{spec.name}: weight {w.shape}")
+    n, cin, h, wd = x.shape
+    cout, _, kh, kw = w.shape
+    sh, sw = spec.stride
+    ph, pw = spec.padding
+    oh, ow = spec.out_height, spec.out_width
+    xp = np.zeros((n, cin, h + 2 * ph, wd + 2 * pw))
+    xp[:, :, ph : ph + h, pw : pw + wd] = x
+    out = np.zeros((n, cout, oh, ow))
+    for i in range(kh):
+        for j in range(kw):
+            win = xp[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw]
+            out += np.einsum("nchw,oc->nohw", win, w[:, :, i, j], optimize=True)
+    return out
+
+
+def conv2d_ref(
+    spec: ConvSpec,
+    x: np.ndarray,
+    w: np.ndarray,
+    *,
+    layout: Layout = Layout.NCHW,
+    bias: np.ndarray | None = None,
+) -> np.ndarray:
+    """Direct convolution with exact int32/int64 accumulation.
+
+    Parameters
+    ----------
+    spec:
+        Layer geometry; ``x`` and ``w`` must match it.
+    x:
+        Integer input activations, ``spec.input_shape(layout)``.
+    w:
+        Integer weights, ``spec.weight_shape(Layout.NCHW)`` — weights are
+        always OIHW here; backends reorder internally.
+    layout:
+        Activation layout (NCHW on ARM, NHWC on GPU, per the paper).
+    bias:
+        Optional int32 per-output-channel bias of length ``out_channels``.
+
+    Returns
+    -------
+    int64 array of ``spec.output_shape(layout)``.
+    """
+    x = np.asarray(x)
+    w = np.asarray(w)
+    if not np.issubdtype(x.dtype, np.integer) or not np.issubdtype(w.dtype, np.integer):
+        raise ShapeError("conv2d_ref operates on integer (quantized) tensors")
+    if x.shape != spec.input_shape(layout):
+        raise ShapeError(
+            f"{spec.name}: input shape {x.shape} != expected {spec.input_shape(layout)}"
+        )
+    if w.shape != spec.weight_shape(Layout.NCHW):
+        raise ShapeError(
+            f"{spec.name}: weight shape {w.shape} != expected "
+            f"{spec.weight_shape(Layout.NCHW)}"
+        )
+
+    if layout is Layout.NHWC:
+        x = np.transpose(x, (0, 3, 1, 2))  # to NCHW internally
+
+    n, cin, h, wd = x.shape
+    cout, cin_g, kh, kw = w.shape
+    sh, sw = spec.stride
+    ph, pw = spec.padding
+    oh, ow = spec.out_height, spec.out_width
+    groups = spec.groups
+
+    xp = np.zeros((n, cin, h + 2 * ph, wd + 2 * pw), dtype=np.int64)
+    xp[:, :, ph : ph + h, pw : pw + wd] = x
+
+    out = np.zeros((n, cout, oh, ow), dtype=np.int64)
+    w64 = w.astype(np.int64)
+    cout_g = cout // groups
+    for g in range(groups):
+        xg = xp[:, g * cin_g : (g + 1) * cin_g]
+        wg = w64[g * cout_g : (g + 1) * cout_g]
+        for i in range(kh):
+            for j in range(kw):
+                # window of shape (n, cin_g, oh, ow) for tap (i, j)
+                win = xg[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw]
+                # (n, oh, ow, cin_g) . (cout_g, cin_g) accumulation
+                out[:, g * cout_g : (g + 1) * cout_g] += np.einsum(
+                    "nchw,oc->nohw", win, wg[:, :, i, j], optimize=True
+                )
+    if bias is not None:
+        bias = np.asarray(bias, dtype=np.int64)
+        if bias.shape != (cout,):
+            raise ShapeError(f"bias shape {bias.shape} != ({cout},)")
+        out += bias[None, :, None, None]
+
+    if layout is Layout.NHWC:
+        out = np.transpose(out, (0, 2, 3, 1))
+    return out

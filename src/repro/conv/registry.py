@@ -1,0 +1,58 @@
+"""Algorithm registry: one dispatch point for every functional conv.
+
+Downstream code (runtime executor, tests, examples) selects algorithms by
+name; registering here is all a new algorithm needs to become reachable
+from the public :func:`conv2d` entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..errors import ReproError
+from ..types import ConvSpec, Layout
+from .fft import conv2d_fft
+from .gemm_conv import conv2d_gemm
+from .popcount import conv2d_bitserial
+from .ref import conv2d_ref
+from .winograd import conv2d_winograd
+
+ConvFn = Callable[..., np.ndarray]
+
+ALGORITHMS: Dict[str, ConvFn] = {
+    "direct": conv2d_ref,
+    "gemm": conv2d_gemm,
+    "winograd": conv2d_winograd,
+    "bitserial": conv2d_bitserial,
+    "fft": conv2d_fft,
+}
+
+
+def get_algorithm(name: str) -> ConvFn:
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown convolution algorithm {name!r}; "
+            f"available: {sorted(ALGORITHMS)}"
+        ) from None
+
+
+def conv2d(
+    spec: ConvSpec,
+    x: np.ndarray,
+    w: np.ndarray,
+    *,
+    algorithm: str = "direct",
+    layout: Layout = Layout.NCHW,
+    **kwargs,
+) -> np.ndarray:
+    """Run a convolution through a named algorithm.
+
+    All algorithms produce bit-identical int64 results (the ``winograd``
+    algorithm in its default ``mode="exact"``).
+    """
+    fn = get_algorithm(algorithm)
+    return fn(spec, x, w, layout=layout, **kwargs)

@@ -1,0 +1,242 @@
+"""Integer Winograd F(2x2, 3x3) convolution (Sec. 3.4).
+
+Transforms (Lavin & Gray):
+
+    Y = A^T [ (G g G^T) (.) (B^T d B) ] A
+
+with::
+
+    B^T = [[1, 0, -1,  0],        G = [[1,   0,   0 ],     A^T = [[1, 1,  1,  0],
+           [0, 1,  1,  0],             [1/2, 1/2, 1/2],           [0, 1, -1, -1]]
+           [0,-1,  1,  0],             [1/2,-1/2, 1/2],
+           [0, 1,  0, -1]]             [0,   0,   1 ]]
+
+Integer exactness
+-----------------
+``G`` has halves, so ``G g G^T`` is generally a multiple of 1/4.  We compute
+``U4 = (2G) g (2G)^T = 4 * G g G^T`` — always integer — multiply in int64,
+and divide the *final* output transform by 4.  Since the true convolution
+result is an integer and all transforms are linear, ``A^T [U4 (.) V] A`` is
+exactly ``4 *`` the true result, so the division is exact.  This is the
+``mode="exact"`` path and it is bit-identical to direct convolution.
+
+``mode="paper"`` reproduces what an int8-operand kernel must do: store the
+transformed weight ``round(G g G^T)`` (range grows 9/4x, Sec. 3.4) and the
+transformed input ``B^T d B`` (range grows 4x) in int8 and multiply those.
+Rounding ``G g G^T`` to integers loses the fractional quarters, so this
+mode is *approximate* for weights whose transform is non-integer; the range
+report below reproduces the paper's bit-width eligibility rule.
+
+Range analysis (Sec. 3.4)
+-------------------------
+The worst-case growth factors are the products of the transform matrices'
+max row L1 norms: ``B^T`` rows have L1 <= 2 (applied twice -> 4x input
+growth) and ``G`` rows have L1 <= 3/2 (applied twice -> 9/4x weight
+growth).  Keeping both transformed operands within int8 bounds limits the
+scheme to <= 6-bit operands, and F(4x4, 3x3) is rejected outright — its
+``B^T`` rows reach L1 = 13/2, a ~42x input growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from ..errors import ShapeError, UnsupportedBitsError
+from ..quant.ranges import qrange
+from ..types import ConvSpec, Layout
+from ..util import ceil_div
+
+# Transform matrices. G is kept in exact fractions; G2 = 2*G is integer.
+BT = np.array(
+    [[1, 0, -1, 0], [0, 1, 1, 0], [0, -1, 1, 0], [0, 1, 0, -1]], dtype=np.int64
+)
+G2 = np.array([[2, 0, 0], [1, 1, 1], [1, -1, 1], [0, 0, 2]], dtype=np.int64)
+AT = np.array([[1, 1, 1, 0], [0, 1, -1, -1]], dtype=np.int64)
+
+G_FRACTIONS = [
+    [Fraction(1), Fraction(0), Fraction(0)],
+    [Fraction(1, 2), Fraction(1, 2), Fraction(1, 2)],
+    [Fraction(1, 2), Fraction(-1, 2), Fraction(1, 2)],
+    [Fraction(0), Fraction(0), Fraction(1)],
+]
+
+#: max row L1 norms of the transforms (drive the range growth factors)
+_BT_L1 = int(np.max(np.sum(np.abs(BT), axis=1)))  # == 2
+_G_L1 = Fraction(3, 2)
+#: F(4x4, 3x3) input-transform max row L1 (for the rejection argument)
+_BT_L1_F4 = Fraction(13, 2)
+
+
+def winograd_transform_weight(w: np.ndarray, *, scaled: bool = True) -> np.ndarray:
+    """Per-filter weight transform.
+
+    ``w`` is OIHW with 3x3 taps. With ``scaled=True`` returns the integer
+    ``U4 = (2G) g (2G)^T`` (4x the mathematical transform); with
+    ``scaled=False`` returns ``round(G g G^T)`` — the paper's int8-storable
+    operand (lossy when the exact transform is fractional).
+    """
+    w = np.asarray(w)
+    if w.ndim != 4 or w.shape[2:] != (3, 3):
+        raise ShapeError(f"winograd weights must be OIHW 3x3, got {w.shape}")
+    u4 = np.einsum("ur,oirs,vs->oiuv", G2, w.astype(np.int64), G2, optimize=True)
+    if scaled:
+        return u4
+    # round-half-away-from-zero of u4/4
+    return np.where(u4 >= 0, (u4 + 2) // 4, -((-u4 + 2) // 4))
+
+
+def winograd_transform_input(tiles: np.ndarray) -> np.ndarray:
+    """Input transform ``V = B^T d B`` over trailing (4, 4) dims (exact)."""
+    tiles = np.asarray(tiles, dtype=np.int64)
+    if tiles.shape[-2:] != (4, 4):
+        raise ShapeError(f"input tiles must end in (4, 4), got {tiles.shape}")
+    return np.einsum("ur,...rs,vs->...uv", BT, tiles, BT, optimize=True)
+
+
+def _extract_tiles(spec: ConvSpec, x: np.ndarray) -> tuple[np.ndarray, int, int]:
+    """Pad input and slice overlapping 4x4 tiles at stride 2.
+
+    Returns ``(tiles[n, c, th, tw, 4, 4], tiles_h, tiles_w)``.
+    """
+    n, c, h, w = x.shape
+    ph, pw = spec.padding
+    oh, ow = spec.out_height, spec.out_width
+    th, tw = ceil_div(oh, 2), ceil_div(ow, 2)
+    # tile (i, j) covers input rows 2i .. 2i+3 of the padded image
+    need_h, need_w = 2 * th + 2, 2 * tw + 2
+    xp = np.zeros((n, c, max(need_h, h + 2 * ph), max(need_w, w + 2 * pw)), dtype=np.int64)
+    xp[:, :, ph : ph + h, pw : pw + w] = x
+    s0, s1, s2, s3 = xp.strides
+    view = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, c, th, tw, 4, 4),
+        strides=(s0, s1, s2 * 2, s3 * 2, s2, s3),
+        writeable=False,
+    )
+    return np.ascontiguousarray(view), th, tw
+
+
+def conv2d_winograd(
+    spec: ConvSpec,
+    x: np.ndarray,
+    w: np.ndarray,
+    *,
+    layout: Layout = Layout.NCHW,
+    bias: np.ndarray | None = None,
+    mode: str = "exact",
+) -> np.ndarray:
+    """F(2x2, 3x3) Winograd convolution.
+
+    ``mode="exact"`` is bit-identical to :func:`repro.conv.ref.conv2d_ref`;
+    ``mode="paper"`` uses the rounded int8-range transformed weight.
+    """
+    if layout is not Layout.NCHW:
+        raise ShapeError("winograd path is the ARM (NCHW) algorithm")
+    if not spec.is_winograd_eligible():
+        raise ShapeError(f"{spec.name} is not 3x3/s1; winograd inapplicable")
+    if mode not in ("exact", "paper"):
+        raise ValueError(f"unknown winograd mode {mode!r}")
+    x = np.asarray(x)
+    if x.shape != spec.input_shape(Layout.NCHW):
+        raise ShapeError(
+            f"{spec.name}: input {x.shape} != {spec.input_shape(Layout.NCHW)}"
+        )
+
+    tiles, th, tw = _extract_tiles(spec, x)
+    v = winograd_transform_input(tiles)  # (n, c, th, tw, 4, 4)
+    if mode == "exact":
+        u = winograd_transform_weight(w, scaled=True)  # 4x scale
+        denom = 4
+    else:
+        u = winograd_transform_weight(w, scaled=False)
+        denom = 1
+    # element-wise multiply in the transform domain, reduce over Cin:
+    # the per-(u, v) position product is exactly the Cin x nTiles GEMM the
+    # ARM kernel runs 16 of.
+    m = np.einsum("oiuv,nixyuv->noxyuv", u, v, optimize=True)
+    y = np.einsum("pu,noxyuv,qv->noxypq", AT, m, AT, optimize=True)
+    # y: (n, o, th, tw, 2, 2)
+    if mode == "exact":
+        if np.any(y % denom):
+            raise ShapeError("internal error: scaled winograd result not divisible by 4")
+        y = y // denom
+    out_full = y.transpose(0, 1, 2, 4, 3, 5).reshape(
+        spec.batch, spec.out_channels, th * 2, tw * 2
+    )
+    out = out_full[:, :, : spec.out_height, : spec.out_width]
+    if bias is not None:
+        bias = np.asarray(bias, dtype=np.int64)
+        if bias.shape != (spec.out_channels,):
+            raise ShapeError(f"bias shape {bias.shape} != ({spec.out_channels},)")
+        out = out + bias[None, :, None, None]
+    return np.ascontiguousarray(out)
+
+
+# ---------------------------------------------------------------------------
+# Range analysis (Sec. 3.4)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WinogradRangeReport:
+    """Numeric-range growth of F(2x2, 3x3) at a given operand bit width."""
+
+    bits: int
+    input_growth: int  #: 4 (B^T applied twice)
+    weight_growth: Fraction  #: 9/4 (G applied twice)
+    input_max_abs: int
+    transformed_input_max_abs: int
+    transformed_weight_max_abs: Fraction
+    fits_int8: bool  #: both transformed operands storable in int8
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        ok = "OK" if self.fits_int8 else "exceeds int8"
+        return (
+            f"{self.bits}-bit: input x{self.input_growth} -> "
+            f"{self.transformed_input_max_abs}, weight x{self.weight_growth} -> "
+            f"{float(self.transformed_weight_max_abs):.1f} ({ok})"
+        )
+
+
+def winograd_range_report(bits: int) -> WinogradRangeReport:
+    """Reproduce the paper's eligibility analysis for ``bits``-wide operands.
+
+    Uses the full two's-complement magnitude ``2**(bits-1)``; both
+    transformed operands must stay within the int8 magnitude 127 (the
+    SMLAL-scheme operand width) for the winograd kernel to apply, which
+    yields exactly the paper's 4~6-bit window (together with the lower
+    bound: below 4-bit the MLA GEMM scheme is faster, Sec. 3.4).
+    """
+    if bits < 2 or bits > 8:
+        raise UnsupportedBitsError(bits, "winograd range analysis covers 2..8")
+    max_abs = qrange(bits).max_abs  # 2**(bits-1)
+    input_growth = _BT_L1 * _BT_L1  # 4
+    weight_growth = _G_L1 * _G_L1  # 9/4
+    t_in = input_growth * max_abs
+    t_w = weight_growth * max_abs
+    return WinogradRangeReport(
+        bits=bits,
+        input_growth=input_growth,
+        weight_growth=weight_growth,
+        input_max_abs=max_abs,
+        transformed_input_max_abs=t_in,
+        transformed_weight_max_abs=t_w,
+        fits_int8=(t_in <= 128) and (t_w <= 127),
+    )
+
+
+def winograd_eligible_bits() -> list[int]:
+    """Bit widths where the paper applies winograd: 4, 5, 6."""
+    out = []
+    for b in range(4, 9):  # lower bound 4: MLA GEMM wins below (Sec. 3.4)
+        if winograd_range_report(b).fits_int8:
+            out.append(b)
+    return out
+
+
+def f4_input_growth() -> Fraction:
+    """Input-range growth of F(4x4, 3x3) — the paper rejects it (Sec. 3.4)."""
+    return _BT_L1_F4 * _BT_L1_F4

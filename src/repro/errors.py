@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors elsewhere.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class QuantizationError(ReproError):
+    """Invalid quantization parameters or out-of-range quantized data."""
+
+
+class UnsupportedBitsError(QuantizationError):
+    """A bit width outside the range supported by an algorithm or kernel."""
+
+    def __init__(self, bits: int, context: str = "") -> None:
+        msg = f"unsupported bit width: {bits}"
+        if context:
+            msg += f" ({context})"
+        super().__init__(msg)
+        self.bits = bits
+
+
+class LayoutError(ReproError):
+    """Tensor layout mismatch (e.g. NCHW data passed to an NHWC kernel)."""
+
+
+class ShapeError(ReproError):
+    """Inconsistent tensor / convolution shapes."""
+
+
+class SimulationError(ReproError):
+    """Illegal state inside one of the architecture simulators."""
+
+
+class RegisterAllocationError(SimulationError):
+    """A kernel generator ran out of architectural registers."""
+
+
+class OverflowDetected(SimulationError):
+    """The functional simulator detected an accumulator overflow.
+
+    Raised only by checked execution modes; the default execution mode
+    reproduces hardware wrap-around semantics silently, exactly like the
+    real instructions do.
+    """
+
+
+class TilingError(ReproError):
+    """An illegal GPU tiling configuration (partition does not cover the
+    problem, exceeds shared memory / register budget, etc.)."""
+
+
+class AutotuneError(ReproError):
+    """The autotuner could not find any legal configuration."""

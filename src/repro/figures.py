@@ -1,0 +1,250 @@
+"""Regeneration of every evaluation table and figure (Sec. 5).
+
+One function per paper artifact, each returning ``(labels, series)`` ready
+for :func:`repro.analysis.report.format_table`.  The benchmark harness
+(``benchmarks/``) calls these, prints the tables, and asserts the
+paper-shape properties; the examples reuse them interactively.
+
+Speedup conventions match the paper's bars: values are
+``baseline_time / our_time``, so higher is better and the baseline is 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .analysis.report import Series
+from .analysis.space import model_space_report
+from .arm.conv_runner import ncnn_conv_cycles, time_arm_conv, tvm_popcount_cycles
+from .arm.cost_model import PI3B
+from .arm.winograd_runner import WINOGRAD_BITS, time_winograd_conv
+from .gpu.autotune import autotune_conv
+from .gpu.baselines import cudnn_dp4a_time, tensorrt_time
+from .gpu.device import TU102
+from .gpu.fusion import fusion_speedups
+from .gpu.pipelinemodel import conv_time
+from .gpu.tiling import default_tiling
+from .models import get_model_layers
+from .types import ConvSpec
+
+ARM_BITS = tuple(range(2, 9))
+GPU_BITS = (8, 4)
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """Labels + series + the baseline's absolute per-layer times."""
+
+    figure: str
+    labels: tuple[str, ...]
+    series: tuple[Series, ...]
+    baseline_label: str
+    baseline_times: tuple[float, ...]  #: ms on ARM, us on GPU
+
+    def series_by_name(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+
+# ---------------------------------------------------------------------------
+# ARM figures
+# ---------------------------------------------------------------------------
+
+
+def fig7_arm_speedups(model: str = "resnet50", *, batch: int = 1) -> FigureData:
+    """Fig. 7 (and Fig. 14/15 with other models): our 2~8-bit conv kernels
+    vs the ncnn 8-bit baseline, per layer."""
+    layers = get_model_layers(model, batch=batch)
+    base = [ncnn_conv_cycles(spec) for spec in layers]
+    series = []
+    for bits in ARM_BITS:
+        ours = [time_arm_conv(spec, bits) for spec in layers]
+        series.append(Series(
+            f"{bits}-bit",
+            tuple(b.total_cycles / o.total_cycles for b, o in zip(base, ours)),
+        ))
+    return FigureData(
+        figure=f"fig7[{model}]",
+        labels=tuple(spec.name for spec in layers),
+        series=tuple(series),
+        baseline_label="ncnn 8-bit (ms)",
+        baseline_times=tuple(b.milliseconds() for b in base),
+    )
+
+
+def fig8_arm_winograd(model: str = "resnet50") -> FigureData:
+    """Fig. 8: GEMM-based vs winograd-based kernels at 4~6-bit on the
+    3x3/s1 layers, against the ncnn baseline."""
+    layers = [s for s in get_model_layers(model) if s.is_winograd_eligible()]
+    base = [ncnn_conv_cycles(spec) for spec in layers]
+    series = []
+    for bits in WINOGRAD_BITS:
+        gemm = [time_arm_conv(spec, bits) for spec in layers]
+        series.append(Series(
+            f"gemm {bits}-bit",
+            tuple(b.total_cycles / g.total_cycles for b, g in zip(base, gemm)),
+        ))
+        wino = [time_winograd_conv(spec, bits) for spec in layers]
+        series.append(Series(
+            f"winograd {bits}-bit",
+            tuple(b.total_cycles / w.total_cycles for b, w in zip(base, wino)),
+        ))
+    return FigureData(
+        figure="fig8",
+        labels=tuple(spec.name for spec in layers),
+        series=tuple(series),
+        baseline_label="ncnn 8-bit (ms)",
+        baseline_times=tuple(b.milliseconds() for b in base),
+    )
+
+
+def fig9_arm_popcount(model: str = "resnet50") -> FigureData:
+    """Fig. 9: our 2-bit kernels vs the TVM popcount A2W2 baseline."""
+    layers = get_model_layers(model)
+    tvm = [tvm_popcount_cycles(spec) for spec in layers]
+    ours = [time_arm_conv(spec, 2) for spec in layers]
+    series = (Series(
+        "ours 2-bit vs TVM",
+        tuple(t.total_cycles / o.total_cycles for t, o in zip(tvm, ours)),
+    ),)
+    return FigureData(
+        figure="fig9",
+        labels=tuple(spec.name for spec in layers),
+        series=series,
+        baseline_label="TVM popcount (ms)",
+        baseline_times=tuple(t.milliseconds() for t in tvm),
+    )
+
+
+def fig13_space_overhead(model: str = "resnet50") -> FigureData:
+    """Fig. 13: im2col and pad/pack space overheads per layer."""
+    layers = get_model_layers(model)
+    report = model_space_report(layers)
+    series = (
+        Series("im2col", tuple(r.im2col_ratio for r in report)),
+        Series("pad+pack", tuple(r.pack_ratio for r in report)),
+        Series("total", tuple(r.total_ratio for r in report)),
+    )
+    return FigureData(
+        figure="fig13",
+        labels=tuple(spec.name for spec in layers),
+        series=series,
+        baseline_label="activation+weight (KB)",
+        baseline_times=tuple(r.baseline_bytes / 1024 for r in report),
+    )
+
+
+def fig14_arm_densenet() -> FigureData:
+    return fig7_arm_speedups("densenet121")
+
+
+def fig15_arm_scr() -> FigureData:
+    return fig7_arm_speedups("scr-resnet50")
+
+
+# ---------------------------------------------------------------------------
+# GPU figures
+# ---------------------------------------------------------------------------
+
+
+def fig10_gpu_speedups(model: str = "resnet50", *, batch: int = 1) -> FigureData:
+    """Fig. 10 (and Fig. 16/17): our 4/8-bit kernels and TensorRT vs the
+    cuDNN dp4a baseline."""
+    layers = get_model_layers(model, batch=batch)
+    base = [cudnn_dp4a_time(spec) for spec in layers]
+    series = []
+    for bits in GPU_BITS:
+        ours = [autotune_conv(spec, bits) for spec in layers]
+        series.append(Series(
+            f"ours {bits}-bit",
+            tuple(b.total_cycles / o.best_cycles for b, o in zip(base, ours)),
+        ))
+    trt = [tensorrt_time(spec) for spec in layers]
+    series.append(Series(
+        "TensorRT 8-bit",
+        tuple(b.total_cycles / t.total_cycles for b, t in zip(base, trt)),
+    ))
+    return FigureData(
+        figure=f"fig10[{model},b{batch}]",
+        labels=tuple(spec.name for spec in layers),
+        series=tuple(series),
+        baseline_label="cuDNN dp4a (us)",
+        baseline_times=tuple(b.microseconds() for b in base),
+    )
+
+
+def fig11_gpu_autotune(model: str = "resnet50", *, batch: int = 1) -> FigureData:
+    """Fig. 11: performance with profile-run tiling search over defaults."""
+    layers = get_model_layers(model, batch=batch)
+    series = []
+    for bits in GPU_BITS:
+        vals = []
+        for spec in layers:
+            tuned = autotune_conv(spec, bits).best_cycles
+            default = conv_time(spec, bits, default_tiling(bits)).total_cycles
+            vals.append(default / tuned)
+        series.append(Series(f"{bits}-bit w/ profile", tuple(vals)))
+    base = [conv_time(spec, 8, default_tiling(8)) for spec in layers]
+    return FigureData(
+        figure=f"fig11[b{batch}]",
+        labels=tuple(spec.name for spec in layers),
+        series=tuple(series),
+        baseline_label="8-bit w/o profile (us)",
+        baseline_times=tuple(b.microseconds() for b in base),
+    )
+
+
+def fig12_gpu_fusion(model: str = "resnet50", *, batch: int = 1) -> FigureData:
+    """Fig. 12: conv+dequant and conv+ReLU fusion speedups (8-bit)."""
+    layers = get_model_layers(model, batch=batch)
+    dq, relu = [], []
+    for spec in layers:
+        sp = fusion_speedups(spec, 8)
+        dq.append(sp["conv+dequant"])
+        relu.append(sp["conv+relu"])
+    base = [cudnn_dp4a_time(spec) for spec in layers]
+    return FigureData(
+        figure=f"fig12[b{batch}]",
+        labels=tuple(spec.name for spec in layers),
+        series=(Series("conv+dequant", tuple(dq)),
+                Series("conv+relu", tuple(relu))),
+        baseline_label="unfused conv (us)",
+        baseline_times=tuple(b.microseconds() for b in base),
+    )
+
+
+def fig16_gpu_scr() -> FigureData:
+    return fig10_gpu_speedups("scr-resnet50", batch=1)
+
+
+def fig17_gpu_densenet() -> FigureData:
+    return fig10_gpu_speedups("densenet121", batch=1)
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+
+def tab1_configurations() -> dict[str, dict[str, object]]:
+    """Tab. 1: the two simulated platforms' machine descriptions."""
+    return {
+        "ARM CPU": {
+            "device": "Raspberry Pi 3B (simulated)",
+            "architecture": "ARM Cortex-A53",
+            "clock_hz": PI3B.clock_hz,
+            "l1_bytes": PI3B.l1_bytes,
+            "l2_bytes": PI3B.l2_bytes,
+            "baseline": "ncnn-like 8-bit GEMM kernels",
+        },
+        "NVIDIA GPU": {
+            "device": "RTX 2080Ti (simulated)",
+            "architecture": "NVIDIA Turing TU102",
+            "sm_count": TU102.sm_count,
+            "clock_hz": TU102.clock_hz,
+            "dram_bytes_per_sec": TU102.dram_bytes_per_sec,
+            "baseline": "cuDNN-like dp4a kernels; TensorRT-like int8 kernels",
+        },
+    }

@@ -1,0 +1,27 @@
+"""GEMM re-design substrate (Sec. 3.2, Fig. 1, Eq. 1-4).
+
+Two functional GEMM walkers — the traditional loop order and the paper's
+re-designed buffer scheme — plus the analytic instruction-count model that
+yields the paper's "CAL/LD is about 4x" conclusion.
+"""
+
+from .analysis import (
+    GemmInstrCounts,
+    traditional_counts,
+    redesigned_counts,
+    cal_ld_improvement,
+)
+from .traditional import gemm_traditional
+from .redesigned import gemm_redesigned
+from .blocking import BlockingPlan, plan_blocking
+
+__all__ = [
+    "GemmInstrCounts",
+    "traditional_counts",
+    "redesigned_counts",
+    "cal_ld_improvement",
+    "gemm_traditional",
+    "gemm_redesigned",
+    "BlockingPlan",
+    "plan_blocking",
+]

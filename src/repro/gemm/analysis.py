@@ -1,0 +1,83 @@
+"""Instruction-count model of traditional vs re-designed GEMM (Eq. 1-4).
+
+Paper notation:
+
+* ``theta1`` — elements one SIMD instruction operates on,
+* ``theta2`` — elements one load-replicate instruction covers (4 for LD4R),
+* ``beta1`` — load instructions per (A, B) SIMD-register pair read,
+* ``beta2`` — multiply-accumulate instructions per SIMD-register pair,
+* ``delta`` — trailing reduce-sum instructions (constant, << K).
+
+Eq. 1/2 (traditional):   LD = beta1*M*N*K/theta1
+                         CAL ~= beta2*M*N*K/theta1
+Eq. 3/4 (re-designed):   LD = beta1*M*N*K/(theta2*theta1)
+                         CAL = beta2*M*N*K/theta1
+
+so CAL/LD improves by exactly ``theta2`` (= 4 with LD4R).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ShapeError
+from ..types import GemmShape
+
+
+@dataclass(frozen=True)
+class GemmInstrCounts:
+    """Load / arithmetic instruction counts for one GEMM formulation."""
+
+    loads: int
+    arithmetic: int
+
+    @property
+    def cal_per_ld(self) -> float:
+        if self.loads == 0:
+            raise ShapeError("no load instructions — degenerate GEMM")
+        return self.arithmetic / self.loads
+
+
+def _validate(theta1: int, theta2: int, beta1: int, beta2: int) -> None:
+    if theta1 <= 0 or theta2 <= 0 or beta1 <= 0 or beta2 <= 0:
+        raise ShapeError("theta/beta parameters must be positive")
+
+
+def traditional_counts(
+    shape: GemmShape,
+    *,
+    theta1: int = 16,
+    beta1: int = 2,
+    beta2: int = 1,
+    delta: int = 4,
+) -> GemmInstrCounts:
+    """Eq. 1 and Eq. 2. ``delta`` models the trailing reduce-sum term."""
+    _validate(theta1, 1, beta1, beta2)
+    work = shape.macs
+    loads = beta1 * work // theta1
+    cal = beta2 * work // theta1 + beta2 * (shape.m * shape.n // theta1) * delta
+    return GemmInstrCounts(loads=loads, arithmetic=cal)
+
+
+def redesigned_counts(
+    shape: GemmShape,
+    *,
+    theta1: int = 16,
+    theta2: int = 4,
+    beta1: int = 2,
+    beta2: int = 1,
+) -> GemmInstrCounts:
+    """Eq. 3 and Eq. 4. ``theta2`` is the LD4R replication width (4)."""
+    _validate(theta1, theta2, beta1, beta2)
+    work = shape.macs
+    loads = beta1 * work // (theta2 * theta1)
+    cal = beta2 * theta2 * work // (theta2 * theta1)
+    return GemmInstrCounts(loads=loads, arithmetic=cal)
+
+
+def cal_ld_improvement(shape: GemmShape, **kwargs) -> float:
+    """Ratio of CAL/LD between re-designed and traditional GEMM (~theta2)."""
+    theta2 = kwargs.pop("theta2", 4)
+    trad = traditional_counts(shape, **kwargs)
+    redo = redesigned_counts(shape, theta2=theta2, **kwargs)
+    return redo.cal_per_ld / trad.cal_per_ld

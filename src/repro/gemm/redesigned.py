@@ -1,0 +1,58 @@
+"""Re-designed GEMM (Fig. 1b): rank-1 updates through register buffers.
+
+Per step ``k``:
+
+* Buffer A (one SIMD register) <- column ``k`` of Matrix A,
+* Buffer B (``n_b`` registers)  <- row ``k`` of Matrix B, each element
+  replicated across a register (one LD4R covers 4 elements),
+* Buffer C (``n_a x n_b`` accumulators) += elementwise ``v_a * v_b_i``.
+
+One A load + one LD4R feed ``n_b`` MAC instructions, which is where the
+4x CAL/LD gain of Eq. 3/4 comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .traditional import AccessCounter
+
+
+def gemm_redesigned(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    n_a: int = 16,
+    n_b: int = 4,
+    counter: AccessCounter | None = None,
+) -> np.ndarray:
+    """C = A @ B via the Fig. 1b buffer scheme (rank-1 accumulation).
+
+    Operates directly on unpacked matrices; the packed-buffer variant used
+    by the ARM kernels lives in :func:`repro.conv.gemm_conv.gemm_packed`.
+    """
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ShapeError(f"bad GEMM shapes: A {a.shape}, B {b.shape}")
+    m, k = a.shape
+    _, n = b.shape
+    c = np.zeros((m, n), dtype=np.int64)
+    a64 = a.astype(np.int64)
+    b64 = b.astype(np.int64)
+
+    for i0 in range(0, m, n_a):
+        i1 = min(i0 + n_a, m)
+        for j0 in range(0, n, n_b):
+            j1 = min(j0 + n_b, n)
+            acc = np.zeros((i1 - i0, j1 - j0), dtype=np.int64)
+            for kk in range(k):
+                v_a = a64[i0:i1, kk]  # Buffer A: one column chunk
+                v_b = b64[kk, j0:j1]  # Buffer B: replicated row elements
+                if counter is not None:
+                    counter.load(i1 - i0)  # one LD1 per column chunk
+                    # one LD4R covers up to 4 replicated elements
+                    counter.loads += -(-(j1 - j0) // 4)
+                    counter.mac((i1 - i0) * (j1 - j0))
+                acc += v_a[:, None] * v_b[None, :]  # Buffer C accumulate
+            c[i0:i1, j0:j1] = acc
+    return c

@@ -1,0 +1,72 @@
+"""Profile-run auto-search over tiling parameters (Sec. 5.1 / Fig. 11).
+
+"To determine the optimal tiling parameters ... we use C++ template to
+generate multiple kernels with different combinations of tiling parameters
+and choose the best ones through profile runs."  Here a profile run is an
+evaluation of the performance simulator; the search is the same exhaustive
+sweep over legal template instantiations, and it is cached per GEMM shape
+("the optimal tiling parameters only need to be determined once per
+convolution shape").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AutotuneError
+from ..types import ConvSpec, GemmShape
+from .device import GpuDevice, TU102
+from .pipelinemodel import GpuKernelPerf, conv_gemm_shape, kernel_time
+from .tiling import TilingParams, search_space
+
+
+@dataclass(frozen=True)
+class AutotuneResult:
+    """Best configuration found by the profile sweep."""
+
+    gemm: GemmShape
+    bits: int
+    best: TilingParams
+    best_perf: GpuKernelPerf
+    candidates: int
+
+    @property
+    def best_cycles(self) -> float:
+        return self.best_perf.total_cycles
+
+
+_CACHE: dict[tuple, AutotuneResult] = {}
+
+
+def autotune(
+    gemm: GemmShape,
+    bits: int,
+    *,
+    device: GpuDevice = TU102,
+    **kernel_kwargs,
+) -> AutotuneResult:
+    """Sweep every legal tiling, profile each, return the fastest."""
+    key = (gemm, bits, device.name, tuple(sorted(kernel_kwargs.items())))
+    if key in _CACHE:
+        return _CACHE[key]
+    best: TilingParams | None = None
+    best_perf: GpuKernelPerf | None = None
+    count = 0
+    for tiling in search_space(bits, device=device):
+        count += 1
+        perf = kernel_time(gemm, bits, tiling, device=device, **kernel_kwargs)
+        if best_perf is None or perf.total_cycles < best_perf.total_cycles:
+            best, best_perf = tiling, perf
+    if best is None or best_perf is None:
+        raise AutotuneError(f"no legal tiling for {gemm} at {bits}-bit")
+    result = AutotuneResult(
+        gemm=gemm, bits=bits, best=best, best_perf=best_perf, candidates=count
+    )
+    _CACHE[key] = result
+    return result
+
+
+def autotune_conv(
+    spec: ConvSpec, bits: int, *, device: GpuDevice = TU102, **kernel_kwargs
+) -> AutotuneResult:
+    return autotune(conv_gemm_shape(spec), bits, device=device, **kernel_kwargs)

@@ -1,0 +1,110 @@
+"""GPU baseline models: cuDNN's dp4a kernels and TensorRT's int8 kernels.
+
+Both follow the paper's own characterization (Sec. 5.1/5.3):
+
+* **cuDNN 8-bit** — implicit-precomp GEMM on the CUDA cores with ``dp4a``
+  (no Tensor Cores: "currently, cuDNN does not support the 8-bit
+  convolution with Tensor Core"), with library-chosen fixed tiling.
+* **TensorRT 8-bit** — Tensor Core kernels with "many low-level
+  optimizations with heavily-tuned SASS code" (higher sustained
+  efficiency) but *heuristic* tile selection from a small rule table
+  rather than per-shape profiling — which is exactly where the paper's
+  auto-search wins on small batches and unusual shapes (Sec. 5.3/5.5).
+"""
+
+from __future__ import annotations
+
+from ..types import ConvSpec, GemmShape
+from .device import GpuDevice, TU102
+from .pipelinemodel import GpuKernelPerf, conv_gemm_shape, kernel_time
+from .tiling import TilingParams
+
+
+def _clamp_tile(value: int, candidates: tuple[int, ...]) -> int:
+    for c in candidates:
+        if value <= c:
+            return c
+    return candidates[-1]
+
+
+def cudnn_tiling(gemm: GemmShape) -> TilingParams:
+    """cuDNN picks among a few fixed template sizes by problem size."""
+    m_tile = _clamp_tile(gemm.m, (64, 128))
+    n_tile = _clamp_tile(gemm.n, (64, 128))
+    warps = {(64, 64): (2, 2), (64, 128): (2, 4), (128, 64): (4, 2),
+             (128, 128): (2, 4)}[(m_tile, n_tile)]
+    return TilingParams(m_tile, n_tile, k_tile=32, k_step=16,
+                        block_row_warps=warps[0], block_col_warps=warps[1])
+
+
+def cudnn_dp4a_time(
+    spec: ConvSpec, *, device: GpuDevice = TU102
+) -> GpuKernelPerf:
+    """The Fig. 10 baseline: cuDNN 8-bit convolution with dp4a."""
+    gemm = conv_gemm_shape(spec)
+    return kernel_time(
+        gemm,
+        8,
+        cudnn_tiling(gemm),
+        device=device,
+        tensor_core=False,
+        double_buffer=True,
+        reorder_smem=True,
+        coalesced=True,
+        in_place_epilogue=True,
+        base_efficiency=0.70,  # mature library code on the simple dp4a pipe
+    )
+
+
+def tensorrt_tiling(gemm: GemmShape) -> tuple[TilingParams, int]:
+    """TensorRT's heuristic: sized tiles plus split-K for small grids.
+
+    The rules favor 128-wide tiles (good for big batches) and shard the
+    reduction when the grid would under-fill the device; they are not
+    shape-profiled, so batch-1 and unusual shapes still land off the
+    optimum — the paper's observed weakness (Sec. 5.3/5.5).
+    """
+    m_tile = 128 if gemm.m >= 128 else 64
+    n_tile = 128 if gemm.n >= 128 else 64
+    tiling = TilingParams(m_tile, n_tile, k_tile=64, k_step=32,
+                          block_row_warps=2, block_col_warps=4)
+    from ..util import ceil_div
+
+    base_blocks = ceil_div(gemm.m, m_tile) * ceil_div(gemm.n, n_tile)
+    split_k = 1
+    max_split = max(1, gemm.k // (2 * tiling.k_tile))
+    while base_blocks * split_k < 2 * TU102.sm_count and split_k < min(8, max_split):
+        split_k *= 2
+    return tiling, split_k
+
+
+def _trt_shape_familiar(gemm: GemmShape) -> bool:
+    """TensorRT's hand-tuned SASS kernels target the common GEMM grid
+    (64-multiple N and K — ResNet-family shapes); anything else falls back
+    to generic code.  This is the paper's own reading of Sec. 5.5: unusual
+    shapes (SCR-ResNet-50, DenseNet-121's growing channels) are "out of
+    the radar of TensorRT for heavy optimization"."""
+    return gemm.n % 64 == 0 and gemm.k % 64 == 0
+
+
+def tensorrt_time(
+    spec: ConvSpec, *, device: GpuDevice = TU102
+) -> GpuKernelPerf:
+    """TensorRT 8-bit Tensor Core kernels (profiled via trtexec in the
+    paper)."""
+    gemm = conv_gemm_shape(spec)
+    tiling, split_k = tensorrt_tiling(gemm)
+    eff = 0.82 if _trt_shape_familiar(gemm) else 0.68
+    return kernel_time(
+        gemm,
+        8,
+        tiling,
+        device=device,
+        tensor_core=True,
+        double_buffer=True,
+        reorder_smem=True,
+        coalesced=True,
+        in_place_epilogue=True,
+        base_efficiency=eff,  # heavily-tuned SASS on common shapes (Sec. 5.3)
+        split_k=split_k,
+    )

@@ -1,0 +1,59 @@
+"""Turing TU102 machine description (Tab. 1, right column: RTX 2080Ti)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuDevice:
+    """The handful of machine constants the cost model consumes.
+
+    Tensor-core MAC rates follow the Turing whitepaper ratios: FP16 FMA
+    512/SM/cycle, INT8 2x that, INT4 4x.  ``dp4a`` runs on the 64 INT32
+    cores (4 MACs each).  As with the ARM model, the experiments depend on
+    the ratios, not the absolutes.
+    """
+
+    name: str = "rtx-2080ti"
+    sm_count: int = 68
+    clock_hz: float = 1.545e9
+    dram_bytes_per_sec: float = 616e9
+    l2_bytes: int = 5_632 * 1024
+    smem_per_sm: int = 64 * 1024
+    max_smem_per_block: int = 64 * 1024
+    regs_per_sm: int = 65_536
+    max_threads_per_sm: int = 1_024
+    max_blocks_per_sm: int = 16
+    warp_size: int = 32
+    #: multiply-accumulate rates per SM per cycle
+    tc_int8_macs: int = 1_024
+    tc_int4_macs: int = 2_048
+    dp4a_macs: int = 256
+    #: shared-memory bandwidth per SM (bytes/cycle), fully-coalesced LDS.128
+    smem_bytes_per_cycle: float = 128.0
+    #: kernel launch + driver overhead, seconds
+    launch_overhead_s: float = 3.0e-6
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        return self.dram_bytes_per_sec / self.clock_hz
+
+    def seconds(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+    def microseconds(self, cycles: float) -> float:
+        return self.seconds(cycles) * 1e6
+
+    def mac_rate(self, bits: int, *, tensor_core: bool = True) -> int:
+        """MACs per SM per cycle for the given operand width."""
+        if not tensor_core:
+            return self.dp4a_macs
+        if bits == 8:
+            return self.tc_int8_macs
+        if bits == 4:
+            return self.tc_int4_macs
+        raise ValueError(f"Turing tensor cores support 4/8-bit, got {bits}")
+
+
+TU102 = GpuDevice()

@@ -1,0 +1,125 @@
+"""Quantization fusion (Sec. 4.4 / Fig. 12).
+
+In a quantized network the convolution sits inside an element-wise
+pipeline: ``quantize -> conv(+requant) -> dequantize -> quantize -> ReLU ->
+dequantize``.  Each unfused stage is a bandwidth-bound kernel with its own
+launch; fusing moves the work into the conv epilogue:
+
+* **conv + dequant** — the conv writes fp32 directly, eliminating the
+  dequantize kernel (its launch, its int8 read and its fp32 write), at the
+  price of a 4x larger conv store.
+* **conv + ReLU** — folding ReLU into the requantization clamp eliminates
+  the *dequantize -> quantize -> ReLU* triple between the two ops entirely.
+
+``pipeline_time`` prices each variant from the kernel cost model plus an
+element-wise kernel model; ``fusion_speedups`` reproduces Fig. 12's two
+series.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..types import ConvSpec
+from .device import GpuDevice, TU102
+from .pipelinemodel import conv_time
+from .tiling import TilingParams
+
+
+class FusionMode(enum.Enum):
+    NONE = "none"
+    CONV_DEQUANT = "conv+dequant"
+    CONV_RELU = "conv+relu"
+
+
+@dataclass(frozen=True)
+class PipelinePerf:
+    """Cycle totals of a conv + element-wise pipeline."""
+
+    mode: FusionMode
+    conv_cycles: float
+    elementwise_cycles: float
+    kernel_launches: int
+
+    @property
+    def total_cycles(self) -> float:
+        return self.conv_cycles + self.elementwise_cycles
+
+    def microseconds(self, device: GpuDevice = TU102) -> float:
+        return device.microseconds(self.total_cycles)
+
+
+def elementwise_kernel_cycles(
+    read_bytes: float, write_bytes: float, *, device: GpuDevice = TU102
+) -> float:
+    """A bandwidth-bound element-wise kernel: traffic + launch overhead."""
+    traffic = (read_bytes + write_bytes) / device.dram_bytes_per_cycle
+    return traffic + device.launch_overhead_s * device.clock_hz
+
+
+def pipeline_time(
+    spec: ConvSpec,
+    bits: int,
+    mode: FusionMode,
+    *,
+    tiling: TilingParams | None = None,
+    with_relu: bool = False,
+    device: GpuDevice = TU102,
+    **conv_kwargs,
+) -> PipelinePerf:
+    """Price the conv plus its surrounding element-wise stages.
+
+    ``with_relu`` selects the longer pipeline that Fig. 12's conv+ReLU
+    fusion experiment targets (set implicitly by ``mode=CONV_RELU``).
+    """
+    n_out = spec.output_elems
+    elem = bits / 8
+
+    if mode is FusionMode.CONV_DEQUANT:
+        # conv writes fp32 directly (in-place dequant epilogue)
+        conv = conv_time(spec, bits, tiling, device=device,
+                         out_elem_bytes=4.0, **conv_kwargs)
+        return PipelinePerf(mode, conv.total_cycles, 0.0, kernel_launches=1)
+
+    if mode is FusionMode.CONV_RELU:
+        # ReLU folded into the requant clamp: int8 out, nothing follows
+        conv = conv_time(spec, bits, tiling, device=device,
+                         out_elem_bytes=elem, **conv_kwargs)
+        return PipelinePerf(mode, conv.total_cycles, 0.0, kernel_launches=1)
+
+    # unfused: conv(+requant, int8 out) then the element-wise chain
+    conv = conv_time(spec, bits, tiling, device=device,
+                     out_elem_bytes=elem, **conv_kwargs)
+    launches = 1
+    ew = elementwise_kernel_cycles(n_out * elem, n_out * 4.0, device=device)
+    launches += 1  # dequantize: int8 -> fp32
+    if with_relu:
+        # quantize (fp32 -> int8), ReLU (int8 -> int8)
+        ew += elementwise_kernel_cycles(n_out * 4.0, n_out * elem, device=device)
+        ew += elementwise_kernel_cycles(n_out * elem, n_out * elem, device=device)
+        launches += 2
+    return PipelinePerf(mode, conv.total_cycles, ew, kernel_launches=launches)
+
+
+def fusion_speedups(
+    spec: ConvSpec,
+    bits: int = 8,
+    *,
+    tiling: TilingParams | None = None,
+    device: GpuDevice = TU102,
+    **conv_kwargs,
+) -> dict[str, float]:
+    """Fig. 12's two bars for one layer: fused-over-unfused speedups."""
+    base_dq = pipeline_time(spec, bits, FusionMode.NONE, tiling=tiling,
+                            device=device, **conv_kwargs)
+    fused_dq = pipeline_time(spec, bits, FusionMode.CONV_DEQUANT, tiling=tiling,
+                             device=device, **conv_kwargs)
+    base_relu = pipeline_time(spec, bits, FusionMode.NONE, tiling=tiling,
+                              with_relu=True, device=device, **conv_kwargs)
+    fused_relu = pipeline_time(spec, bits, FusionMode.CONV_RELU, tiling=tiling,
+                               device=device, **conv_kwargs)
+    return {
+        "conv+dequant": base_dq.total_cycles / fused_dq.total_cycles,
+        "conv+relu": base_relu.total_cycles / fused_relu.total_cycles,
+    }

@@ -1,0 +1,102 @@
+"""Memory-access analyzers: global coalescing and shared-memory reordering.
+
+Two of the paper's multi-level memory optimizations (Sec. 4.3) are about
+*access shape*, not volume:
+
+* **Coalesced global access** — each thread reads 16 consecutive bytes via
+  ``int4`` vectors, so a warp's request splits into four independent
+  128-byte transactions (one per quarter-warp).  The analyzer counts the
+  32-byte DRAM sectors a warp request actually touches, so scattered or
+  narrow patterns show their cost.
+* **Shared-memory access reordering (Fig. 5)** — re-assigning which thread
+  reads which fragment block turns four strided ``LDS.32`` per thread into
+  one ``LDS.128``, cutting shared-memory instructions to a quarter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+
+SECTOR_BYTES = 32
+WARP = 32
+
+
+def coalesced_transactions(addresses: np.ndarray, access_bytes: int) -> int:
+    """Count 32-byte sectors a warp request touches.
+
+    ``addresses``: byte address each of the 32 threads accesses;
+    ``access_bytes``: contiguous bytes each thread reads/writes.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if addresses.shape != (WARP,):
+        raise ShapeError(f"a warp has 32 threads, got {addresses.shape}")
+    if access_bytes <= 0:
+        raise ShapeError("access_bytes must be positive")
+    sectors: set[int] = set()
+    for addr in addresses:
+        first = int(addr) // SECTOR_BYTES
+        last = (int(addr) + access_bytes - 1) // SECTOR_BYTES
+        sectors.update(range(first, last + 1))
+    return len(sectors)
+
+
+def vectorized_warp_addresses(base: int, bytes_per_thread: int) -> np.ndarray:
+    """The paper's coalesced pattern: thread *i* reads bytes
+    ``base + i*bytes_per_thread`` (consecutive ``int4``/``int2`` chunks)."""
+    return base + np.arange(WARP, dtype=np.int64) * bytes_per_thread
+
+
+def strided_warp_addresses(base: int, stride: int) -> np.ndarray:
+    """A strided (uncoalesced) pattern: thread *i* at ``base + i*stride``."""
+    return base + np.arange(WARP, dtype=np.int64) * stride
+
+
+@dataclass(frozen=True)
+class SmemAccessReport:
+    """LDS instruction accounting for one warp-level fragment load."""
+
+    bytes_per_thread: int
+    reordered: bool
+    lds_instructions: int
+    lds_width_bytes: int
+
+    @property
+    def instructions_ratio_vs_unordered(self) -> float:
+        base = -(-self.bytes_per_thread // 4)  # LDS.32 count
+        return self.lds_instructions / base
+
+
+def lds_instructions(bytes_per_thread: int, *, reordered: bool) -> SmemAccessReport:
+    """Shared-memory load instructions per thread for a fragment read.
+
+    Fig. 5: the common (unordered) pattern needs one ``LDS.32`` per 4-byte
+    block; after reordering each thread's blocks are contiguous, so one
+    ``LDS.128`` covers 16 bytes — "the number of access instructions is
+    reduced to one-quarter of the original".
+    """
+    if bytes_per_thread <= 0:
+        raise ShapeError("bytes_per_thread must be positive")
+    if reordered:
+        width = 16
+        count = -(-bytes_per_thread // width)
+    else:
+        width = 4
+        count = -(-bytes_per_thread // width)
+    return SmemAccessReport(
+        bytes_per_thread=bytes_per_thread,
+        reordered=reordered,
+        lds_instructions=count,
+        lds_width_bytes=width,
+    )
+
+
+def fig5_reordering_example() -> tuple[SmemAccessReport, SmemAccessReport]:
+    """The exact Fig. 5 case: mma8816, 16 bytes of matrix A per thread."""
+    return (
+        lds_instructions(16, reordered=False),
+        lds_instructions(16, reordered=True),
+    )

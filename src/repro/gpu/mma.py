@@ -1,0 +1,115 @@
+"""Exact semantics of the Tensor Core ``mma`` shapes and ``dp4a``.
+
+Turing exposes warp-level matrix-multiply-accumulate through PTX ``mma``
+instructions (Sec. 2.3): ``mma.m8n8k16`` for int8 and ``mma.m8n8k32`` for
+int4, both accumulating into int32; ``dp4a`` is the CUDA-core 4-way int8
+dot product cuDNN's baseline kernels use.  These functions are the
+bit-exact definitions the implicit-GEMM kernel composes; property tests
+pin them against plain integer matmul.
+
+int4 values travel packed two-per-byte (low nibble first); helpers below
+convert between packed storage and signed values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def _check(a: np.ndarray, b: np.ndarray, m: int, n: int, k: int, bits: int) -> None:
+    if a.shape != (m, k) or b.shape != (k, n):
+        raise ShapeError(
+            f"mma.m{m}n{n}k{k} expects A ({m},{k}) and B ({k},{n}); "
+            f"got {a.shape} and {b.shape}"
+        )
+    half = 1 << (bits - 1)
+    for name, arr in (("A", a), ("B", b)):
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise ShapeError(f"{name} must be integer, got {arr.dtype}")
+        if arr.size and (arr.min() < -half or arr.max() >= half):
+            raise ShapeError(f"{name} exceeds {bits}-bit range")
+
+
+def mma_m8n8k16_int8(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None
+) -> np.ndarray:
+    """``D(8x8,int32) = A(8x16,int8) @ B(16x8,int8) + C``."""
+    _check(a, b, 8, 8, 16, 8)
+    d = a.astype(np.int32) @ b.astype(np.int32)
+    if c is not None:
+        if c.shape != (8, 8):
+            raise ShapeError(f"C must be (8, 8), got {c.shape}")
+        d = d + c.astype(np.int32)
+    return d.astype(np.int32)
+
+
+def mma_m8n8k32_int4(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None
+) -> np.ndarray:
+    """``D(8x8,int32) = A(8x32,int4) @ B(32x8,int4) + C``."""
+    _check(a, b, 8, 8, 32, 4)
+    d = a.astype(np.int32) @ b.astype(np.int32)
+    if c is not None:
+        if c.shape != (8, 8):
+            raise ShapeError(f"C must be (8, 8), got {c.shape}")
+        d = d + c.astype(np.int32)
+    return d.astype(np.int32)
+
+
+def dp4a(a4: np.ndarray, b4: np.ndarray, c: int | np.ndarray = 0) -> np.ndarray:
+    """CUDA-core 4-way int8 dot product with int32 accumulate.
+
+    Vectorized: trailing dimension must be 4; leading dimensions broadcast.
+    """
+    a4 = np.asarray(a4)
+    b4 = np.asarray(b4)
+    if a4.shape[-1] != 4 or b4.shape[-1] != 4:
+        raise ShapeError("dp4a operands must have trailing dimension 4")
+    for name, arr in (("A", a4), ("B", b4)):
+        if arr.size and (arr.min() < -128 or arr.max() > 127):
+            raise ShapeError(f"dp4a {name} exceeds int8 range")
+    prod = np.sum(a4.astype(np.int64) * b4.astype(np.int64), axis=-1)
+    return (prod + np.asarray(c, dtype=np.int64)).astype(np.int32)
+
+
+# ---------------------------------------------------------------------------
+# int4 nibble packing
+# ---------------------------------------------------------------------------
+
+
+def pack_int4(values: np.ndarray) -> np.ndarray:
+    """Pack signed int4 values two-per-byte along the last axis (low nibble
+    first).  The last axis length must be even."""
+    values = np.asarray(values)
+    if values.shape[-1] % 2:
+        raise ShapeError("pack_int4 needs an even trailing dimension")
+    if values.size and (values.min() < -8 or values.max() > 7):
+        raise ShapeError("values exceed int4 range [-8, 7]")
+    u = (values.astype(np.int64) & 0xF).astype(np.uint8)
+    lo = u[..., 0::2]
+    hi = u[..., 1::2]
+    return (lo | (hi << 4)).astype(np.uint8)
+
+
+def unpack_int4(packed: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_int4`; returns int8 values in [-8, 7]."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    lo = (packed & 0xF).astype(np.int8)
+    hi = (packed >> 4).astype(np.int8)
+    lo = np.where(lo >= 8, lo - 16, lo).astype(np.int8)
+    hi = np.where(hi >= 8, hi - 16, hi).astype(np.int8)
+    out = np.empty(packed.shape[:-1] + (packed.shape[-1] * 2,), dtype=np.int8)
+    out[..., 0::2] = lo
+    out[..., 1::2] = hi
+    return out
+
+
+def mma_shape(bits: int) -> tuple[int, int, int]:
+    """(m, n, k) of the Turing mma instruction for a bit width."""
+    if bits == 8:
+        return (8, 8, 16)
+    if bits == 4:
+        return (8, 8, 32)
+    raise ShapeError(f"no Turing integer mma for {bits}-bit")

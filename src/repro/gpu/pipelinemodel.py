@@ -1,0 +1,203 @@
+"""Analytic GPU kernel cost model.
+
+Composes the quantities the paper's optimizations manipulate:
+
+* **compute** — tensor-core (or dp4a) MAC cycles, derated by achieved
+  occupancy and wave quantization (few blocks -> idle SMs, the reason
+  shape-adapted tiling wins at batch 1, Sec. 5.3);
+* **dram** — per-block A/B tile traffic (A re-read once per N-tile column,
+  B once per M-tile row; re-reads are served partly by L2) plus the
+  epilogue store;
+* **smem** — staged-fragment traffic, 4x more instructions (and
+  correspondingly less bandwidth) without the Fig. 5 reordering;
+* **overlap** — with the Fig. 6 register double buffer, compute and memory
+  pipelines overlap (``max``); without it they serialize (``+``).
+
+All times are device cycles; ``GpuKernelPerf.microseconds`` converts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TilingError
+from ..types import ConvSpec, GemmShape
+from ..util import ceil_div
+from .device import GpuDevice, TU102
+from .tiling import TilingParams, default_tiling, grid_blocks, validate_tiling
+
+
+@dataclass(frozen=True)
+class GpuKernelPerf:
+    """Cycle breakdown of one kernel launch."""
+
+    gemm: GemmShape
+    tiling: TilingParams
+    bits: int
+    compute_cycles: float
+    dram_cycles: float
+    smem_cycles: float
+    launch_cycles: float
+    blocks: int
+    blocks_per_sm: int
+    occupancy: float
+    overlapped: bool
+
+    @property
+    def total_cycles(self) -> float:
+        if self.overlapped:
+            body = max(self.compute_cycles, self.dram_cycles, self.smem_cycles)
+        else:
+            body = self.compute_cycles + self.dram_cycles + 0.5 * self.smem_cycles
+        return body + self.launch_cycles
+
+    def microseconds(self, device: GpuDevice = TU102) -> float:
+        return device.microseconds(self.total_cycles)
+
+    @property
+    def bound(self) -> str:
+        parts = {
+            "compute": self.compute_cycles,
+            "dram": self.dram_cycles,
+            "smem": self.smem_cycles,
+        }
+        return max(parts, key=parts.get)
+
+
+def _blocks_per_sm(tiling: TilingParams, bits: int, device: GpuDevice,
+                   double_buffer: bool) -> int:
+    by_smem = device.smem_per_sm // max(
+        1, tiling.smem_bytes(bits, double_buffer=double_buffer))
+    by_threads = device.max_threads_per_sm // tiling.threads_per_block
+    by_regs = device.regs_per_sm // max(
+        1, tiling.regs_per_thread(bits) * tiling.threads_per_block)
+    return max(0, min(by_smem, by_threads, by_regs, device.max_blocks_per_sm))
+
+
+#: cycles per k_outer iteration: __syncthreads, staging pointer math,
+#: predicated-gather index arithmetic — what makes micro tiles non-free
+_K_ITER_OVERHEAD = 60.0
+
+
+def kernel_time(
+    gemm: GemmShape,
+    bits: int,
+    tiling: TilingParams | None = None,
+    *,
+    device: GpuDevice = TU102,
+    tensor_core: bool = True,
+    double_buffer: bool = True,
+    reorder_smem: bool = True,
+    coalesced: bool = True,
+    in_place_epilogue: bool = True,
+    out_elem_bytes: float = 1.0,
+    base_efficiency: float = 0.55,
+    split_k: int = 1,
+) -> GpuKernelPerf:
+    """Cycle estimate for one implicit-GEMM conv kernel launch.
+
+    ``base_efficiency`` is the fraction of peak MAC rate a well-occupied
+    kernel sustains (instruction mix, bank conflicts, scheduling); the
+    TensorRT baseline uses a higher constant (heavily-tuned SASS,
+    Sec. 5.3) and cuDNN's dp4a path its own.  ``split_k`` > 1 models the
+    library kernels that shard the reduction across blocks (the paper's
+    own parameter set does not include it), paying partial-sum traffic and
+    a reduction launch.
+    """
+    tiling = tiling or default_tiling(bits)
+    validate_tiling(tiling, bits, device=device, double_buffer=double_buffer)
+    if split_k < 1:
+        raise TilingError(f"split_k must be >= 1, got {split_k}")
+    elem = bits / 8
+
+    base_blocks = grid_blocks(gemm, tiling)
+    blocks = base_blocks * split_k
+    bps = _blocks_per_sm(tiling, bits, device, double_buffer)
+    if bps == 0:
+        raise TilingError(f"{tiling.describe()}: block does not fit on an SM")
+
+    # ---- compute ----------------------------------------------------------
+    k_pad = ceil_div(gemm.k, tiling.k_tile) * tiling.k_tile
+    k_pad_block = ceil_div(ceil_div(k_pad, split_k), tiling.k_tile) * tiling.k_tile
+    block_macs = tiling.m_tile * tiling.n_tile * k_pad_block
+    rate = device.mac_rate(bits, tensor_core=tensor_core)
+    # occupancy derate: tensor pipes need warps in flight to stay fed
+    warps_resident = bps * tiling.warps_per_block
+    occupancy = min(1.0, warps_resident / 16.0)
+    eff = base_efficiency * (0.35 + 0.65 * occupancy)
+    k_iters = ceil_div(k_pad_block, tiling.k_tile)
+    block_cycles = block_macs / (rate * eff) + k_iters * _K_ITER_OVERHEAD
+    # an SM's concurrent blocks share its tensor pipes, so throughput-wise
+    # blocks serialize per SM; partial waves still pay a full block time
+    compute = ceil_div(blocks, device.sm_count) * block_cycles
+
+    # ---- dram -------------------------------------------------------------
+    m_blocks = ceil_div(gemm.m, tiling.m_tile)
+    n_blocks = ceil_div(gemm.n, tiling.n_tile)
+    a_bytes_once = gemm.m * gemm.k * elem
+    b_bytes_once = gemm.k * gemm.n * elem
+    a_rereads = max(0, n_blocks - 1) * a_bytes_once
+    b_rereads = max(0, m_blocks - 1) * b_bytes_once
+    # re-reads hit L2 when the operand fits there (weights usually do)
+    l2_speedup = 3.0
+    a_reread_cost = a_rereads / (l2_speedup if a_bytes_once <= device.l2_bytes else 1.0)
+    b_reread_cost = b_rereads / (l2_speedup if b_bytes_once <= device.l2_bytes else 1.0)
+    out_bytes = gemm.m * gemm.n * (out_elem_bytes if in_place_epilogue else 4.0)
+    if split_k > 1:
+        # partial int32 tiles written then re-read by the reduction kernel
+        partial = base_blocks * split_k * tiling.m_tile * tiling.n_tile * 4.0
+        out_bytes += 2.0 * partial
+    transaction_derate = 1.0 if coalesced else 4.0
+    dram_bytes = (a_bytes_once + b_bytes_once + a_reread_cost
+                  + b_reread_cost + out_bytes)
+    dram = dram_bytes * transaction_derate / device.dram_bytes_per_cycle
+
+    # ---- shared memory ----------------------------------------------------
+    # every warp re-reads its A/B fragments from the staged tiles: warps in
+    # the same block row share B columns and warps in the same column share
+    # A rows, so the per-block LDS traffic is (bcw*MTile + brw*NTile)*K
+    frag_bytes_per_block = (
+        tiling.block_col_warps * tiling.m_tile
+        + tiling.block_row_warps * tiling.n_tile
+    ) * k_pad_block * elem
+    smem_bytes_total = blocks * frag_bytes_per_block
+    # without the Fig. 5 reordering each 16 bytes take four LDS.32 issue
+    # slots instead of one LDS.128 — the path becomes instruction-bound
+    smem_bw = device.smem_bytes_per_cycle if reorder_smem else 24.0
+    active_sms = min(blocks, device.sm_count)
+    smem = smem_bytes_total / (smem_bw * active_sms)
+
+    launch = device.launch_overhead_s * device.clock_hz
+    if split_k > 1:
+        launch *= 2  # the trailing reduction kernel
+    return GpuKernelPerf(
+        gemm=gemm,
+        tiling=tiling,
+        bits=bits,
+        compute_cycles=compute,
+        dram_cycles=dram,
+        smem_cycles=smem,
+        launch_cycles=launch,
+        blocks=blocks,
+        blocks_per_sm=bps,
+        occupancy=occupancy,
+        overlapped=double_buffer,
+    )
+
+
+def conv_gemm_shape(spec: ConvSpec) -> GemmShape:
+    """The implicit GEMM problem of an NHWC convolution."""
+    return GemmShape(
+        m=spec.batch * spec.out_spatial, k=spec.gemm_k, n=spec.out_channels
+    )
+
+
+def conv_time(
+    spec: ConvSpec,
+    bits: int,
+    tiling: TilingParams | None = None,
+    **kwargs,
+) -> GpuKernelPerf:
+    """Kernel time for a convolution layer (thin wrapper over
+    :func:`kernel_time` on the layer's implicit-GEMM shape)."""
+    return kernel_time(conv_gemm_shape(spec), bits, tiling, **kwargs)

@@ -1,0 +1,99 @@
+"""Implicit-precomp GEMM offset buffer (Sec. 4.2 / Alg. 2).
+
+The implicit GEMM never materializes the im2col matrix; instead, element
+``(p, k)`` of the conceptual A matrix (output pixel ``p``, reduction index
+``k``) is gathered straight from the NHWC input.  "We store the offsets of
+elements instead of the pointers in the precomputed buffer ... the offset
+calculation process only needs to be done once for a specific shape."
+
+Decomposition used here (and by real implementations): the gather offset
+splits into a per-pixel *base* (where the receptive field starts) plus a
+per-``k`` *delta* (position within the field), so the buffer is
+
+* ``k_dy, k_dx, k_dc``: K-length tap coordinates (for bounds checks),
+* ``k_delta``: K-length flat offset deltas,
+* ``base_y, base_x``: per-output-pixel field origins (may be negative with
+  padding, hence the explicit bound check instead of pointer arithmetic).
+
+Total size is a few KB to tens of KB — the "0.5 KB to 50 KB" of Sec. 5.4,
+which :meth:`PrecomputedOffsets.nbytes` reports exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..types import ConvSpec, Layout
+
+
+@dataclass(frozen=True)
+class PrecomputedOffsets:
+    """The shape-specific gather tables of the implicit-precomp kernel."""
+
+    spec: ConvSpec
+    k_dy: np.ndarray  #: (K,) tap row within the receptive field
+    k_dx: np.ndarray  #: (K,) tap column
+    k_dc: np.ndarray  #: (K,) input channel
+    k_delta: np.ndarray  #: (K,) flat NHWC offset delta of each tap
+    base_y: np.ndarray  #: (OH*OW,) field-origin row (can be negative)
+    base_x: np.ndarray  #: (OH*OW,) field-origin column
+
+    @property
+    def nbytes(self) -> int:
+        """Global-memory footprint of the buffer (Sec. 5.4's 0.5~50 KB)."""
+        return sum(
+            arr.nbytes
+            for arr in (self.k_dy, self.k_dx, self.k_dc, self.k_delta,
+                        self.base_y, self.base_x)
+        )
+
+    def gather(self, x_nhwc: np.ndarray, pixels: np.ndarray,
+               ks: np.ndarray) -> np.ndarray:
+        """Gather the A-matrix tile ``[pixels x ks]`` for one image.
+
+        Out-of-image taps (padding) gather zero, exactly as the kernel's
+        predicated loads do.
+        """
+        spec = self.spec
+        if x_nhwc.shape != (spec.height, spec.width, spec.in_channels):
+            raise ShapeError(
+                f"gather expects one NHWC image "
+                f"{(spec.height, spec.width, spec.in_channels)}, got {x_nhwc.shape}"
+            )
+        ys = self.base_y[pixels][:, None] + self.k_dy[None, ks]
+        xs = self.base_x[pixels][:, None] + self.k_dx[None, ks]
+        cs = np.broadcast_to(self.k_dc[None, ks], ys.shape)
+        valid = (ys >= 0) & (ys < spec.height) & (xs >= 0) & (xs < spec.width)
+        out = np.zeros(ys.shape, dtype=x_nhwc.dtype)
+        out[valid] = x_nhwc[ys[valid], xs[valid], cs[valid]]
+        return out
+
+
+def build_offsets(spec: ConvSpec) -> PrecomputedOffsets:
+    """Pre-processing pass: one offset computation per shape (Sec. 4.2)."""
+    if spec.groups != 1:
+        raise ShapeError("implicit GEMM path supports groups=1")
+    kh, kw = spec.kernel
+    sh, sw = spec.stride
+    ph, pw = spec.padding
+    cin = spec.in_channels
+
+    # K-axis ordering (dy, dx, c) matches im2col_nhwc / NHWC weights
+    taps = np.arange(kh * kw * cin)
+    k_dc = (taps % cin).astype(np.int32)
+    k_dx = ((taps // cin) % kw).astype(np.int32)
+    k_dy = (taps // (cin * kw)).astype(np.int32)
+    k_delta = (k_dy * spec.width * cin + k_dx * cin + k_dc).astype(np.int32)
+
+    pix = np.arange(spec.out_spatial)
+    oy = pix // spec.out_width
+    ox = pix % spec.out_width
+    base_y = (oy * sh - ph).astype(np.int32)
+    base_x = (ox * sw - pw).astype(np.int32)
+    return PrecomputedOffsets(
+        spec=spec, k_dy=k_dy, k_dx=k_dx, k_dc=k_dc, k_delta=k_delta,
+        base_y=base_y, base_x=base_x,
+    )

@@ -1,0 +1,109 @@
+"""Winograd F(2x2, 3x3) on the GPU — the road the paper did not take.
+
+The paper applies winograd only on ARM (Sec. 3.4).  On Turing the trade
+changes: tensor cores make multiplies cheap relative to memory, while the
+transform stages are bandwidth-bound element-wise kernels and the
+transform-domain GEMMs have K = Cin only (poor tensor-core utilization per
+block).  This module prices the GPU winograd pipeline with the same
+machine model so the decision is quantified rather than asserted:
+
+* input transform — bandwidth kernel: read the activation, write the 16
+  per-position operand matrices (4x the activation volume);
+* 16 batched transform-domain GEMMs of shape ``(batch*tiles, Cin, Cout)``;
+* output transform — bandwidth kernel over 16 -> 4 elements per tile;
+* the transformed *ranges* still apply: int8 storage of the transformed
+  input caps the approach at <= 6-bit operands, as on ARM — for the 8-bit
+  Tensor-Core path the transformed data must widen, which this model
+  charges as 2-byte traffic.
+
+Functional semantics are shared with :func:`repro.conv.winograd.
+conv2d_winograd` (layout-transposed), so no second implementation exists
+to drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..conv.winograd import winograd_range_report
+from ..errors import ShapeError
+from ..types import ConvSpec, GemmShape, Layout
+from ..util import ceil_div
+from .autotune import autotune
+from .device import GpuDevice, TU102
+from .fusion import elementwise_kernel_cycles
+from .pipelinemodel import conv_gemm_shape
+from .tiling import TilingParams
+
+
+@dataclass(frozen=True)
+class GpuWinogradPerf:
+    """Cycle breakdown of the GPU winograd pipeline for one layer."""
+
+    spec_name: str
+    bits: int
+    transform_in_cycles: float
+    gemm_cycles: float
+    transform_out_cycles: float
+    gemm_tiling: TilingParams
+
+    @property
+    def total_cycles(self) -> float:
+        return (self.transform_in_cycles + self.gemm_cycles
+                + self.transform_out_cycles)
+
+    def microseconds(self, device: GpuDevice = TU102) -> float:
+        return device.microseconds(self.total_cycles)
+
+
+def gpu_winograd_time(
+    spec: ConvSpec,
+    bits: int = 8,
+    *,
+    device: GpuDevice = TU102,
+) -> GpuWinogradPerf:
+    """Price the F(2x2,3x3) pipeline on the GPU model (autotuned GEMM)."""
+    if not spec.is_winograd_eligible():
+        raise ShapeError(f"{spec.name} is not 3x3/s1; winograd inapplicable")
+    n_tiles = (ceil_div(spec.out_height, 2) * ceil_div(spec.out_width, 2)
+               * spec.batch)
+    # transformed operands exceed int8 above 6-bit: widen to 2 bytes
+    elem = 1.0 if winograd_range_report(min(bits, 8)).fits_int8 else 2.0
+
+    in_bytes = spec.input_elems * 1.0
+    v_bytes = 16 * spec.in_channels * n_tiles * elem
+    tf_in = elementwise_kernel_cycles(in_bytes, v_bytes, device=device)
+
+    # 16 per-position GEMMs batched into one launch: same MAC volume as a
+    # single GEMM with 16x the M dimension (K = Cin only)
+    gemm = GemmShape(m=16 * n_tiles, k=spec.in_channels, n=spec.out_channels)
+    tuned = autotune(gemm, 8 if bits > 4 else 4, device=device)
+    gemm_cycles = tuned.best_cycles
+
+    m_bytes = 16 * spec.out_channels * n_tiles * 4.0  # int32 products
+    out_bytes = spec.output_elems * 1.0
+    tf_out = elementwise_kernel_cycles(m_bytes, out_bytes, device=device)
+
+    return GpuWinogradPerf(
+        spec_name=spec.name,
+        bits=bits,
+        transform_in_cycles=tf_in,
+        gemm_cycles=gemm_cycles,
+        transform_out_cycles=tf_out,
+        gemm_tiling=tuned.best,
+    )
+
+
+def winograd_vs_implicit(
+    spec: ConvSpec, bits: int = 8, *, device: GpuDevice = TU102
+) -> dict[str, float]:
+    """Head-to-head: GPU winograd vs the paper's implicit GEMM, cycles."""
+    wino = gpu_winograd_time(spec, bits, device=device)
+    implicit = autotune(conv_gemm_shape(spec), bits, device=device)
+    return {
+        "winograd_cycles": wino.total_cycles,
+        "implicit_cycles": implicit.best_cycles,
+        "winograd_over_implicit": wino.total_cycles / implicit.best_cycles,
+    }

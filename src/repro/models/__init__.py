@@ -1,0 +1,26 @@
+"""Workload substrate: conv layer tables of the paper's three networks.
+
+The evaluation (Sec. 5.1) covers "all convolution layers in ResNet-50 ...
+representative and non-repetitive convolution layers from SCR-ResNet-50
+... and DenseNet-121".  Tables are generated from the architecture
+definitions and de-duplicated to unique shapes, labelled ``conv1..convN``
+in topological order — matching the paper's presentation style (its exact
+index mapping is unpublished; see DESIGN.md).
+"""
+
+from .layers import unique_conv_layers
+from .resnet50 import resnet50_conv_layers
+from .scr_resnet50 import scr_resnet50_conv_layers
+from .densenet121 import densenet121_conv_layers
+from .mobilenetv1 import mobilenetv1_conv_layers
+from .zoo import get_model_layers, MODELS
+
+__all__ = [
+    "unique_conv_layers",
+    "resnet50_conv_layers",
+    "scr_resnet50_conv_layers",
+    "densenet121_conv_layers",
+    "mobilenetv1_conv_layers",
+    "get_model_layers",
+    "MODELS",
+]

@@ -1,0 +1,76 @@
+"""DenseNet-121 convolution layers (Huang et al. 2017, growth rate 32).
+
+Dense blocks of (6, 12, 24, 16) layers; each dense layer is a 1x1
+bottleneck to ``4*k`` channels followed by a 3x3 to ``k = 32``; transitions
+halve channels with a 1x1 and 2x2-pool.  The input channel count of the
+1x1 bottlenecks grows by 32 per layer, producing the long tail of unusual
+shapes (e.g. 736 input channels at 14x14 — the paper's Sec. 5.5 example).
+The paper evaluates "representative and non-repetitive" layers; we emit
+every conv, de-duplicate, and (like the paper's 16-layer figure) provide a
+representative subsample.
+"""
+
+from __future__ import annotations
+
+from ..types import ConvSpec
+from .layers import unique_conv_layers
+
+GROWTH = 32
+_BLOCKS = (6, 12, 24, 16)
+
+
+def densenet121_all_conv_layers(batch: int = 1) -> list[ConvSpec]:
+    layers: list[ConvSpec] = []
+
+    def conv(cin, cout, size, k, s, p):
+        layers.append(
+            ConvSpec(
+                f"l{len(layers)}", in_channels=cin, out_channels=cout,
+                height=size, width=size, kernel=(k, k), stride=(s, s),
+                padding=(p, p), batch=batch,
+            )
+        )
+
+    conv(3, 64, 224, 7, 2, 3)  # stem (pool follows: 112 -> 56)
+    channels = 64
+    size = 56
+    for b_idx, n_layers in enumerate(_BLOCKS):
+        for _ in range(n_layers):
+            conv(channels, 4 * GROWTH, size, 1, 1, 0)  # bottleneck
+            conv(4 * GROWTH, GROWTH, size, 3, 1, 1)  # growth conv
+            channels += GROWTH
+        if b_idx < len(_BLOCKS) - 1:
+            conv(channels, channels // 2, size, 1, 1, 0)  # transition
+            channels //= 2
+            size //= 2  # 2x2 average pool
+    return layers
+
+
+def densenet121_conv_layers(batch: int = 1, *,
+                            representative: int | None = 16,
+                            include_stem: bool = False) -> list[ConvSpec]:
+    """Unique conv shapes; ``representative`` subsamples to the paper's
+    16-layer presentation (None keeps all unique shapes).
+
+    The stem is excluded by default (kept full-precision, like ResNet-50's).
+    The subsample is stratified, not blind: every distinct 3x3 growth conv
+    is kept (they are the structural shapes), the Sec. 5.5 example layer
+    (736 input channels at 14x14) is kept, and the remaining slots spread
+    evenly over the growing-1x1 bottleneck tail.
+    """
+    layers = densenet121_all_conv_layers(batch)
+    if not include_stem:
+        layers = layers[1:]
+    uniq = unique_conv_layers(layers)
+    if representative is None or len(uniq) <= representative:
+        return uniq
+    must = [s for s in uniq
+            if s.kernel != (1, 1)
+            or (s.in_channels == 736 and s.height == 14)]
+    rest = [s for s in uniq if s not in must]
+    slots = max(0, representative - len(must))
+    idx = sorted({round(i * (len(rest) - 1) / max(1, slots - 1))
+                  for i in range(slots)})
+    picked = must + [rest[i] for i in idx][:slots]
+    picked.sort(key=lambda s: int(s.name.removeprefix("conv")))
+    return unique_conv_layers(picked)

@@ -1,0 +1,45 @@
+"""Helpers for building and de-duplicating conv layer tables."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, Sequence
+
+from ..types import ConvSpec
+
+
+def shape_key(spec: ConvSpec) -> tuple:
+    """Everything that makes two conv layers the 'same shape' for the
+    paper's de-duplication (name and batch excluded)."""
+    return (
+        spec.in_channels,
+        spec.out_channels,
+        spec.height,
+        spec.width,
+        spec.kernel,
+        spec.stride,
+        spec.padding,
+        spec.groups,
+    )
+
+
+def unique_conv_layers(layers: Iterable[ConvSpec],
+                       prefix: str = "conv") -> list[ConvSpec]:
+    """Keep the first occurrence of each shape, relabelled conv1..convN."""
+    seen: set[tuple] = set()
+    out: list[ConvSpec] = []
+    for spec in layers:
+        key = shape_key(spec)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(replace(spec, name=f"{prefix}{len(out) + 1}"))
+    return out
+
+
+def with_batch(layers: Sequence[ConvSpec], batch: int) -> list[ConvSpec]:
+    return [spec.with_batch(batch) for spec in layers]
+
+
+def total_macs(layers: Iterable[ConvSpec]) -> int:
+    return sum(spec.macs for spec in layers)

@@ -1,0 +1,56 @@
+"""MobileNetV1 conv layers (Howard et al. 2017) — the depthwise stress case.
+
+Not in the paper's evaluation; included as the extension workload that
+shows *where GEMM-based low-bit convolution stops paying off*: depthwise
+layers have ``K = kh*kw`` (9!) per group and one output channel per group,
+so the re-designed GEMM's register tiles are almost entirely padding.
+The per-layer tables separate depthwise (``groups == channels``) from
+pointwise layers so the benches can report them apart.
+"""
+
+from __future__ import annotations
+
+from ..types import ConvSpec
+from .layers import unique_conv_layers
+
+#: (out_channels, stride) of each depthwise/pointwise pair after the stem
+_PAIRS = (
+    (64, 1), (128, 2), (128, 1), (256, 2), (256, 1),
+    (512, 2), (512, 1), (512, 1), (512, 1), (512, 1), (512, 1),
+    (1024, 2), (1024, 1),
+)
+
+
+def mobilenetv1_all_conv_layers(batch: int = 1) -> list[ConvSpec]:
+    layers: list[ConvSpec] = []
+
+    def conv(cin, cout, size, k, s, p, groups=1):
+        layers.append(
+            ConvSpec(
+                f"l{len(layers)}", in_channels=cin, out_channels=cout,
+                height=size, width=size, kernel=(k, k), stride=(s, s),
+                padding=(p, p), batch=batch, groups=groups,
+            )
+        )
+
+    conv(3, 32, 224, 3, 2, 1)  # stem
+    cin, size = 32, 112
+    for cout, stride in _PAIRS:
+        conv(cin, cin, size, 3, stride, 1, groups=cin)  # depthwise
+        size //= stride
+        conv(cin, cout, size, 1, 1, 0)  # pointwise
+        cin = cout
+    return layers
+
+
+def mobilenetv1_conv_layers(batch: int = 1, *,
+                            include_stem: bool = False) -> list[ConvSpec]:
+    """Unique conv shapes (stem excluded by default, as elsewhere)."""
+    layers = mobilenetv1_all_conv_layers(batch)
+    if not include_stem:
+        layers = layers[1:]
+    return unique_conv_layers(layers)
+
+
+def is_depthwise(spec: ConvSpec) -> bool:
+    return spec.groups > 1 and spec.groups == spec.in_channels

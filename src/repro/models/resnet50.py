@@ -1,0 +1,67 @@
+"""ResNet-50 convolution layers (He et al. 2016, Caffe Model Zoo variant).
+
+The Caffe prototxt places the stride-2 downsampling on the *first 1x1*
+convolution of each stage's leading bottleneck (unlike torchvision's
+3x3-stride variant) — the paper takes its model "from Caffe Model Zoo"
+(Sec. 5.1), so that is what we generate.  All 53 convolutions are emitted
+in topological order, then de-duplicated to unique shapes.
+"""
+
+from __future__ import annotations
+
+from ..types import ConvSpec
+from .layers import unique_conv_layers
+
+#: (blocks, mid_channels, out_channels) per stage; input 56x56 after stem
+_STAGES = (
+    (3, 64, 256),
+    (4, 128, 512),
+    (6, 256, 1024),
+    (3, 512, 2048),
+)
+
+
+def resnet50_all_conv_layers(batch: int = 1) -> list[ConvSpec]:
+    """Every convolution of ResNet-50, in execution order."""
+    layers: list[ConvSpec] = []
+
+    def conv(cin, cout, size, k, s, p):
+        layers.append(
+            ConvSpec(
+                f"l{len(layers)}", in_channels=cin, out_channels=cout,
+                height=size, width=size, kernel=(k, k), stride=(s, s),
+                padding=(p, p), batch=batch,
+            )
+        )
+
+    conv(3, 64, 224, 7, 2, 3)  # stem (pooling follows, 112 -> 56)
+
+    in_ch = 64
+    size = 56
+    for stage_idx, (blocks, mid, out) in enumerate(_STAGES):
+        for block in range(blocks):
+            # Caffe variant: stride 2 on the first 1x1 of stages 3..5
+            stride = 2 if (block == 0 and stage_idx > 0) else 1
+            conv(in_ch, mid, size, 1, stride, 0)  # reduce
+            blk_size = size // stride
+            conv(mid, mid, blk_size, 3, 1, 1)  # spatial
+            conv(mid, out, blk_size, 1, 1, 0)  # expand
+            if block == 0:
+                conv(in_ch, out, size, 1, stride, 0)  # projection shortcut
+            in_ch = out
+            size = blk_size
+    return layers
+
+
+def resnet50_conv_layers(batch: int = 1, *, include_stem: bool = False) -> list[ConvSpec]:
+    """The unique conv shapes, labelled conv1..convN (Fig. 7's x-axis).
+
+    By default the 7x7 stem is excluded: quantized inference keeps the
+    first layer in full precision, and only then does the table have the
+    paper's 19 layers with conv1 a "1x1 kernel with 64 channels"
+    (Sec. 5.2) and Fig. 13's maximum of 8.60x at the first 3x3.
+    """
+    layers = resnet50_all_conv_layers(batch)
+    if not include_stem:
+        layers = layers[1:]
+    return unique_conv_layers(layers)

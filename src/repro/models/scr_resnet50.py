@@ -1,0 +1,66 @@
+"""SCR-ResNet-50: a CRNAS-style channel-reallocated ResNet-50.
+
+The paper evaluates "SCR-ResNet-50 (convolution layers with different
+shapes from ResNet-50) searched by CRNAS [19]" (Sec. 5.1).  The searched
+architecture itself is unpublished, so — per the substitution rule in
+DESIGN.md — we synthesize it the way CRNAS describes its search: keep the
+ResNet-50 topology and FLOP budget, *reallocate computation across stages*
+(fewer channels early, more late) and perturb widths off the usual
+power-of-two grid.  That yields exactly the property the paper exploits in
+Sec. 5.5: "the convolution shapes ... are not commonly used", so
+heuristically-tuned libraries miss them while shape-profiled kernels
+don't.
+"""
+
+from __future__ import annotations
+
+from ..types import ConvSpec
+from .layers import unique_conv_layers
+
+#: (blocks, mid_channels, out_channels): channels reallocated toward the
+#: deeper stages and snapped off the power-of-two grid (multiples of 16/32
+#: the searches emit), total MACs within ~10% of the original ResNet-50
+_STAGES = (
+    (2, 48, 192),
+    (4, 112, 448),
+    (7, 288, 1152),
+    (3, 608, 2432),
+)
+
+
+def scr_resnet50_all_conv_layers(batch: int = 1) -> list[ConvSpec]:
+    layers: list[ConvSpec] = []
+
+    def conv(cin, cout, size, k, s, p):
+        layers.append(
+            ConvSpec(
+                f"l{len(layers)}", in_channels=cin, out_channels=cout,
+                height=size, width=size, kernel=(k, k), stride=(s, s),
+                padding=(p, p), batch=batch,
+            )
+        )
+
+    conv(3, 48, 224, 7, 2, 3)
+    in_ch = 48
+    size = 56
+    for stage_idx, (blocks, mid, out) in enumerate(_STAGES):
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage_idx > 0) else 1
+            conv(in_ch, mid, size, 1, stride, 0)
+            blk_size = size // stride
+            conv(mid, mid, blk_size, 3, 1, 1)
+            conv(mid, out, blk_size, 1, 1, 0)
+            if block == 0:
+                conv(in_ch, out, size, 1, stride, 0)
+            in_ch = out
+            size = blk_size
+    return layers
+
+
+def scr_resnet50_conv_layers(batch: int = 1, *, include_stem: bool = False) -> list[ConvSpec]:
+    """Unique conv shapes of the synthesized SCR-ResNet-50 (stem excluded
+    by default, like :func:`repro.models.resnet50.resnet50_conv_layers`)."""
+    layers = scr_resnet50_all_conv_layers(batch)
+    if not include_stem:
+        layers = layers[1:]
+    return unique_conv_layers(layers)

@@ -1,0 +1,30 @@
+"""Model lookup by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ReproError
+from ..types import ConvSpec
+from .densenet121 import densenet121_conv_layers
+from .mobilenetv1 import mobilenetv1_conv_layers
+from .resnet50 import resnet50_conv_layers
+from .scr_resnet50 import scr_resnet50_conv_layers
+
+MODELS: Dict[str, Callable[..., List[ConvSpec]]] = {
+    "resnet50": resnet50_conv_layers,
+    "scr-resnet50": scr_resnet50_conv_layers,
+    "densenet121": densenet121_conv_layers,
+    "mobilenetv1": mobilenetv1_conv_layers,
+}
+
+
+def get_model_layers(name: str, batch: int = 1, **kwargs) -> List[ConvSpec]:
+    """Unique conv layer table of a named model (Sec. 5.1 workloads)."""
+    try:
+        fn = MODELS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown model {name!r}; available: {sorted(MODELS)}"
+        ) from None
+    return fn(batch=batch, **kwargs)

@@ -1,0 +1,146 @@
+"""Asymmetric (affine) quantization and zero-point convolution algebra.
+
+The paper's kernels use signed *symmetric* quantization (zero point 0) —
+that is what the signed SMLAL/MLA/mma datapaths want.  Production runtimes
+(gemmlowp, QNNPACK, TFLite) often quantize activations *asymmetrically*:
+
+    real = scale * (q - zero_point)
+
+A library release must interoperate, so this module provides the affine
+quantizer and the classic zero-point expansion that lets an affine conv
+run on the very same integer kernels:
+
+    sum (xq - zx) * (wq - zw)
+      = sum xq*wq  -  zw * sum xq  -  zx * sum wq  +  K * zx * zw
+
+The first term is the ordinary integer convolution (any kernel in this
+package); the corrections are a per-window activation sum (a cheap
+ones-kernel convolution), a per-output-channel weight sum (precomputable)
+and a constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import QuantizationError, ShapeError
+from ..types import ConvSpec, Layout
+from .ranges import QRange
+
+
+@dataclass(frozen=True)
+class AffineParams:
+    """scale/zero-point pair with its target range."""
+
+    scale: float
+    zero_point: int
+    qrange: QRange
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise QuantizationError("affine scale must be positive")
+        if not (self.qrange.qmin <= self.zero_point <= self.qrange.qmax):
+            raise QuantizationError(
+                f"zero point {self.zero_point} outside {self.qrange}"
+            )
+
+
+def choose_affine_params(
+    lo: float, hi: float, qrange: QRange
+) -> AffineParams:
+    """Standard TFLite-style parameter choice for an observed [lo, hi].
+
+    The range is widened to include 0 so that zero is exactly
+    representable (padding must quantize to the zero point).
+    """
+    lo = min(0.0, float(lo))
+    hi = max(0.0, float(hi))
+    scale = (hi - lo) / (qrange.qmax - qrange.qmin)
+    if not np.isfinite(scale) or scale <= 0.0:  # empty or sub-denormal range
+        return AffineParams(1.0, 0 if qrange.contains(0, 0) else qrange.qmin,
+                            qrange)
+    zp = int(round(qrange.qmin - lo / scale))
+    zp = max(qrange.qmin, min(qrange.qmax, zp))
+    return AffineParams(scale, zp, qrange)
+
+
+def affine_quantize(x: np.ndarray, params: AffineParams) -> np.ndarray:
+    q = np.rint(np.asarray(x, dtype=np.float64) / params.scale) + params.zero_point
+    return np.clip(q, params.qrange.qmin, params.qrange.qmax).astype(np.int64)
+
+
+def affine_dequantize(q: np.ndarray, params: AffineParams) -> np.ndarray:
+    return (np.asarray(q, dtype=np.float64) - params.zero_point) * params.scale
+
+
+def window_counts(spec: ConvSpec) -> np.ndarray:
+    """Valid (non-padding) tap count of each output position, ``(OH, OW)``.
+
+    The zero-point expansion's constant term is ``K * zx * zw`` only for
+    windows fully inside the image; padded windows contribute fewer taps.
+    Computed exactly with a ones-input convolution.
+    """
+    from ..conv.ref import conv2d_ref
+
+    ones = np.ones(spec.input_shape(Layout.NCHW), dtype=np.int64)[:1, :1]
+    one_spec = ConvSpec(
+        spec.name + "_ones", in_channels=1, out_channels=1,
+        height=spec.height, width=spec.width, kernel=spec.kernel,
+        stride=spec.stride, padding=spec.padding,
+    )
+    w = np.ones(one_spec.weight_shape(Layout.NCHW), dtype=np.int64)
+    counts = conv2d_ref(one_spec, ones, w)[0, 0]
+    return counts * (spec.in_channels // spec.groups)
+
+
+def conv2d_affine(
+    spec: ConvSpec,
+    xq: np.ndarray,
+    wq: np.ndarray,
+    x_params: AffineParams,
+    w_params: AffineParams,
+    *,
+    algorithm: str = "gemm",
+) -> np.ndarray:
+    """Affine-quantized convolution on symmetric integer kernels.
+
+    ``xq``/``wq`` are affine-quantized values (zero points folded *out*
+    via the expansion); the result is the exact int64 accumulator of
+    ``sum (xq - zx)(wq - zw)``.  Zero-padding is handled by construction:
+    a padded tap contributes ``(0 - 0)`` in the shifted domain, which the
+    window-count term accounts for.
+    """
+    from ..conv.registry import conv2d
+
+    xq = np.asarray(xq)
+    wq = np.asarray(wq)
+    if spec.groups != 1:
+        raise ShapeError("affine expansion implemented for groups=1")
+    zx, zw = x_params.zero_point, w_params.zero_point
+
+    # main term: ordinary integer convolution of the raw quantized values
+    main = conv2d(spec, xq.astype(np.int64), wq.astype(np.int64),
+                  algorithm=algorithm)
+
+    # -zw * sum_window(xq): one ones-weight convolution over the input
+    ones_w = np.ones(spec.weight_shape(Layout.NCHW), dtype=np.int64)
+    x_window = conv2d(spec, xq.astype(np.int64), ones_w, algorithm="direct")
+    x_window = x_window[:, :1]  # identical across the ones output channels
+
+    # -zx * sum_window(wq): position-dependent at padded edges (only the
+    # taps inside the image carry the x zero point), so it is the ones-
+    # input convolution of the weights rather than a flat per-channel sum
+    ones_x = np.ones(spec.input_shape(Layout.NCHW), dtype=np.int64)[:1]
+    w_window = conv2d(spec, ones_x, wq.astype(np.int64), algorithm="direct")[0]
+
+    # + zx*zw * (valid tap count per output position)
+    counts = window_counts(spec)
+
+    return (
+        main
+        - zw * x_window
+        - zx * w_window[None, :, :, :]
+        + zx * zw * counts[None, None, :, :]
+    )

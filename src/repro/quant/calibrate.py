@@ -1,0 +1,50 @@
+"""Activation-range calibration.
+
+Post-training quantization needs a representative activation range.  The two
+standard estimators are min-max (exact, outlier-sensitive) and a percentile
+clip (what TensorRT-style calibrators approximate).  These feed
+:func:`repro.quant.schemes.compute_scale`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import QuantizationError
+
+
+def calibrate_minmax(samples: Iterable[np.ndarray]) -> float:
+    """Largest absolute value observed across all sample batches."""
+    best = 0.0
+    seen = False
+    for s in samples:
+        s = np.asarray(s, dtype=np.float64)
+        if s.size:
+            best = max(best, float(np.max(np.abs(s))))
+            seen = True
+    if not seen:
+        raise QuantizationError("calibrate_minmax received no data")
+    return best
+
+
+def calibrate_percentile(
+    samples: Iterable[np.ndarray], percentile: float = 99.9
+) -> float:
+    """``percentile``-th percentile of ``|x|`` pooled over all samples.
+
+    Clipping a tiny tail dramatically improves low-bit ranges when
+    activations have outliers; this mirrors common PTQ practice.
+    """
+    if not (0.0 < percentile <= 100.0):
+        raise QuantizationError(f"percentile must be in (0, 100], got {percentile}")
+    pooled: list[np.ndarray] = []
+    for s in samples:
+        s = np.abs(np.asarray(s, dtype=np.float64)).ravel()
+        if s.size:
+            pooled.append(s)
+    if not pooled:
+        raise QuantizationError("calibrate_percentile received no data")
+    allv = np.concatenate(pooled)
+    return float(np.percentile(allv, percentile))

@@ -1,0 +1,105 @@
+"""Numeric ranges of signed low-bit values, including the paper's adjusted
+(symmetric) ranges.
+
+Section 3.3 of the paper derives how many ``SMLAL``/``MLA`` products may be
+accumulated before a 16-/8-bit accumulator can overflow.  That analysis
+depends on the *value range* of the quantized operands:
+
+* For most bit widths the full two's-complement range
+  ``[-2**(b-1), 2**(b-1)-1]`` is used, whose worst-case product magnitude is
+  ``2**(2b-2)`` (the square of the most negative value).
+* For 7- and 8-bit the paper *adjusts* the range to the symmetric
+  ``[-(2**(b-1)-1), 2**(b-1)-1]`` ("we adjust its value range to
+  [-127, 127]"), shrinking the worst-case product to ``(2**(b-1)-1)**2``
+  and buying one extra accumulation step.
+
+This module is the single source of truth for those ranges; the chain-length
+computation itself lives in :mod:`repro.arm.ratios`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import UnsupportedBitsError
+
+#: Bit widths the ARM path supports (Sec. 1: "ARM CPU (2~8-bit)").
+ARM_BITS = range(2, 9)
+#: Bit widths the GPU path supports (Sec. 1: "NVIDIA GPU (4-bit and 8-bit)").
+GPU_BITS = (4, 8)
+
+#: Bit widths for which the paper adjusts to a symmetric range so the
+#: SMLAL chain length stays >= 2 (Sec. 3.3).
+ADJUSTED_RANGE_BITS = frozenset({7, 8})
+
+
+@dataclass(frozen=True)
+class QRange:
+    """Inclusive integer range ``[qmin, qmax]`` of a quantized value."""
+
+    qmin: int
+    qmax: int
+
+    def __post_init__(self) -> None:
+        if self.qmin > self.qmax:
+            raise ValueError(f"empty QRange [{self.qmin}, {self.qmax}]")
+
+    @property
+    def max_abs(self) -> int:
+        return max(abs(self.qmin), abs(self.qmax))
+
+    @property
+    def num_levels(self) -> int:
+        return self.qmax - self.qmin + 1
+
+    def contains(self, lo: int, hi: int) -> bool:
+        return self.qmin <= lo and hi <= self.qmax
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.qmin}, {self.qmax}]"
+
+
+def _check_bits(bits: int) -> None:
+    if not isinstance(bits, int) or bits < 1 or bits > 32:
+        raise UnsupportedBitsError(bits, "qrange supports 1..32 bits")
+
+
+def qrange(bits: int) -> QRange:
+    """Full signed two's-complement range for ``bits``-wide data."""
+    _check_bits(bits)
+    half = 1 << (bits - 1)
+    return QRange(-half, half - 1)
+
+
+def adjusted_qrange(bits: int) -> QRange:
+    """Symmetric range ``[-(2**(b-1)-1), 2**(b-1)-1]`` (paper Sec. 3.3)."""
+    _check_bits(bits)
+    half = 1 << (bits - 1)
+    return QRange(-(half - 1), half - 1)
+
+
+def scheme_qrange(bits: int) -> QRange:
+    """The value range the paper's ARM instruction schemes assume.
+
+    7- and 8-bit use the adjusted symmetric range so that at least
+    8 (resp. 2) SMLAL products can be chained; all lower widths keep the
+    full range.
+    """
+    if bits in ADJUSTED_RANGE_BITS:
+        return adjusted_qrange(bits)
+    return qrange(bits)
+
+
+def max_abs_product(bits: int, adjusted: bool | None = None) -> int:
+    """Worst-case magnitude of a product of two ``bits``-wide values.
+
+    ``adjusted=None`` follows the paper's per-bit-width choice
+    (:func:`scheme_qrange`).
+    """
+    if adjusted is None:
+        r = scheme_qrange(bits)
+    elif adjusted:
+        r = adjusted_qrange(bits)
+    else:
+        r = qrange(bits)
+    return r.max_abs * r.max_abs

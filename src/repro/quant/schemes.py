@@ -1,0 +1,203 @@
+"""Linear (uniform, symmetric) quantization.
+
+The paper's kernels consume signed ``bits``-wide integers produced by a
+linear quantizer (Sec. 5.1: "we apply the same quantization scheme" as the
+cited QNN training papers, all of which use uniform quantization).  We
+implement:
+
+* per-tensor and per-channel symmetric quantization (zero point fixed at 0,
+  which is what the signed-integer ARM/GPU kernels assume),
+* exact integer *requantization*: rescaling an int32 accumulator back to a
+  ``bits``-wide integer using a fixed-point multiplier, the way inference
+  runtimes (gemmlowp, QNNPACK) do it on hardware without floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import QuantizationError
+from .ranges import QRange, scheme_qrange
+
+
+def compute_scale(max_abs: float | np.ndarray, qrange: QRange) -> np.ndarray:
+    """Scale such that ``max_abs`` maps to the edge of ``qrange``.
+
+    Accepts a scalar (per-tensor) or an array (per-channel) of magnitudes.
+    A zero magnitude yields scale 1.0 (the tensor is all zeros; any scale
+    round-trips it exactly).
+    """
+    max_abs = np.asarray(max_abs, dtype=np.float64)
+    if np.any(max_abs < 0):
+        raise QuantizationError("max_abs must be non-negative")
+    edge = float(qrange.max_abs)
+    if edge == 0:
+        raise QuantizationError(f"degenerate quantization range {qrange}")
+    scale = np.where(max_abs > 0, max_abs / edge, 1.0)
+    return scale
+
+
+def quantize_linear(
+    x: np.ndarray,
+    scale: float | np.ndarray,
+    qrange: QRange,
+    *,
+    axis: int | None = None,
+) -> np.ndarray:
+    """Quantize float data to integers: ``clip(round(x / scale), qrange)``.
+
+    ``axis`` selects the per-channel dimension when ``scale`` is an array.
+    Returns int64 (caller narrows to a storage dtype).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    scale_arr = np.asarray(scale, dtype=np.float64)
+    if np.any(scale_arr <= 0):
+        raise QuantizationError("scale must be strictly positive")
+    if scale_arr.ndim > 0 and axis is not None:
+        shape = [1] * x.ndim
+        shape[axis] = -1
+        scale_arr = scale_arr.reshape(shape)
+    elif scale_arr.ndim > 0 and scale_arr.size > 1:
+        raise QuantizationError("per-channel scale requires axis")
+    q = np.rint(x / scale_arr)
+    return np.clip(q, qrange.qmin, qrange.qmax).astype(np.int64)
+
+
+def dequantize_linear(
+    q: np.ndarray,
+    scale: float | np.ndarray,
+    *,
+    axis: int | None = None,
+) -> np.ndarray:
+    """Map integers back to floats: ``q * scale``."""
+    q = np.asarray(q)
+    scale_arr = np.asarray(scale, dtype=np.float64)
+    if scale_arr.ndim > 0 and axis is not None:
+        shape = [1] * q.ndim
+        shape[axis] = -1
+        scale_arr = scale_arr.reshape(shape)
+    return q.astype(np.float64) * scale_arr
+
+
+def _fixed_point_multiplier(real_multiplier: float) -> tuple[int, int]:
+    """Decompose ``real_multiplier`` in (0, 1) as ``m * 2**-shift`` with
+    ``m`` a 31-bit integer — the gemmlowp/QNNPACK requantization encoding.
+    """
+    if not (0.0 < real_multiplier < 1.0):
+        raise QuantizationError(
+            f"requantization multiplier must be in (0, 1), got {real_multiplier}"
+        )
+    shift = 0
+    m = real_multiplier
+    while m < 0.5:
+        m *= 2.0
+        shift += 1
+    q = int(round(m * (1 << 31)))
+    if q == (1 << 31):  # rounding pushed us to 1.0; renormalize
+        q //= 2
+        shift -= 1
+    return q, shift + 31
+
+
+def requantize(
+    acc: np.ndarray,
+    multiplier: float,
+    out_range: QRange,
+    *,
+    use_fixed_point: bool = True,
+) -> np.ndarray:
+    """Rescale an int32 accumulator to a narrow integer output.
+
+    ``multiplier`` is ``scale_in * scale_w / scale_out`` and must lie in
+    (0, 1) — inference runtimes guarantee this by construction of the output
+    scale.  With ``use_fixed_point`` the computation is the exact integer
+    rounding-halfway-away-from-zero fixed-point product used on hardware;
+    otherwise a float round (useful as a cross-check in tests).
+    """
+    acc = np.asarray(acc, dtype=np.int64)
+    if use_fixed_point:
+        m, shift = _fixed_point_multiplier(multiplier)
+        prod = acc * np.int64(m)
+        half = np.int64(1) << np.int64(shift - 1)
+        # round half away from zero, matching ARMv8 SQRDMULH-based paths
+        rounded = np.where(prod >= 0, (prod + half) >> shift, -((-prod + half) >> shift))
+    else:
+        rounded = np.rint(acc * multiplier).astype(np.int64)
+    return np.clip(rounded, out_range.qmin, out_range.qmax)
+
+
+def requantize_per_channel(
+    acc: np.ndarray,
+    multipliers: np.ndarray,
+    out_range: QRange,
+    *,
+    axis: int = -1,
+    use_fixed_point: bool = True,
+) -> np.ndarray:
+    """Per-output-channel requantization (per-channel weight scales).
+
+    ``multipliers`` is a 1-D array over the ``axis`` dimension of ``acc``;
+    each channel uses its own fixed-point multiplier exactly as
+    :func:`requantize` does per-tensor.
+    """
+    acc = np.asarray(acc, dtype=np.int64)
+    multipliers = np.asarray(multipliers, dtype=np.float64)
+    if multipliers.ndim != 1:
+        raise QuantizationError("per-channel multipliers must be 1-D")
+    axis = axis % acc.ndim
+    if multipliers.shape[0] != acc.shape[axis]:
+        raise QuantizationError(
+            f"{multipliers.shape[0]} multipliers for axis of size "
+            f"{acc.shape[axis]}"
+        )
+    out = np.empty_like(acc)
+    moved = np.moveaxis(acc, axis, 0)
+    out_moved = np.moveaxis(out, axis, 0)
+    for c, mult in enumerate(multipliers):
+        out_moved[c] = requantize(
+            moved[c], float(mult), out_range, use_fixed_point=use_fixed_point
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class LinearQuantizer:
+    """Symmetric linear quantizer bound to a bit width.
+
+    Example
+    -------
+    >>> q = LinearQuantizer(bits=4)
+    >>> import numpy as np
+    >>> data = np.linspace(-1, 1, 5)
+    >>> qt = q.quantize(data)
+    >>> qt.bits
+    4
+    """
+
+    bits: int
+    per_channel_axis: int | None = None
+
+    @property
+    def qrange(self) -> QRange:
+        return scheme_qrange(self.bits)
+
+    def quantize(self, x: np.ndarray, max_abs: float | np.ndarray | None = None):
+        from .qtensor import QTensor  # local import to avoid a cycle
+
+        x = np.asarray(x, dtype=np.float64)
+        if max_abs is None:
+            if self.per_channel_axis is None:
+                max_abs = float(np.max(np.abs(x))) if x.size else 0.0
+            else:
+                moved = np.moveaxis(x, self.per_channel_axis, 0)
+                max_abs = np.max(np.abs(moved.reshape(moved.shape[0], -1)), axis=1)
+        scale = compute_scale(max_abs, self.qrange)
+        data = quantize_linear(x, scale, self.qrange, axis=self.per_channel_axis)
+        return QTensor(
+            data=data,
+            scale=scale,
+            bits=self.bits,
+            channel_axis=self.per_channel_axis,
+        )

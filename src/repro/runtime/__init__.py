@@ -1,0 +1,45 @@
+"""Minimal QNN runtime: a layer-pipeline IR, fusion passes, executors.
+
+The paper's Sec. 4.4 pipeline — ``quantize -> conv(+requant) -> dequantize
+-> quantize -> ReLU -> dequantize`` — is represented as a linear op graph;
+the fusion passes rewrite it exactly the way the paper's two fusions do,
+and the executors run it functionally (bit-exact integer conv cores) or
+price it on either simulated architecture.
+"""
+
+from .graph import Graph, Op, conv_pipeline
+from .passes import fuse_conv_dequant, fuse_conv_relu, apply_all_fusions, FusionReport
+from .executor import execute_graph, estimate_graph_cycles, GraphCostReport
+from .network import (
+    Network,
+    NetworkStage,
+    NetworkCostReport,
+    build_network,
+    build_chain,
+    calibrate_network,
+    estimate_network_cycles,
+    execute_network,
+    random_weights,
+)
+
+__all__ = [
+    "Graph",
+    "Op",
+    "conv_pipeline",
+    "fuse_conv_dequant",
+    "fuse_conv_relu",
+    "apply_all_fusions",
+    "FusionReport",
+    "execute_graph",
+    "estimate_graph_cycles",
+    "GraphCostReport",
+    "Network",
+    "NetworkStage",
+    "NetworkCostReport",
+    "build_network",
+    "build_chain",
+    "calibrate_network",
+    "estimate_network_cycles",
+    "execute_network",
+    "random_weights",
+]

@@ -1,0 +1,167 @@
+"""Graph executors: functional (exact) and cost (cycles per backend)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..conv.ref import conv2d_ref
+from ..errors import ReproError
+from ..quant.ranges import scheme_qrange
+from ..quant.schemes import dequantize_linear, quantize_linear, requantize
+from ..types import ConvSpec, Layout
+from .graph import Graph, Op
+
+
+# ---------------------------------------------------------------------------
+# Functional execution (NCHW, exact integer conv cores)
+# ---------------------------------------------------------------------------
+
+
+def execute_graph(
+    graph: Graph,
+    x: np.ndarray,
+    weights: dict[str, np.ndarray],
+    *,
+    weight_scales: dict[str, float] | None = None,
+    biases: dict[str, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Run the pipeline on float input, exactly as a runtime would.
+
+    ``weights[spec.name]`` holds each conv's float OIHW weights; they are
+    quantized per-tensor at the conv's bit width.  Fused and unfused graphs
+    produce (numerically) the same result — a property the tests assert —
+    because fusion only moves element-wise math into the conv epilogue.
+    """
+    weight_scales = weight_scales or {}
+    biases = biases or {}
+    cur: np.ndarray = np.asarray(x, dtype=np.float64)
+    cur_q: np.ndarray | None = None  # integer activation + its scale
+    cur_scale: float = 1.0
+    cur_bits: int = 8
+
+    for op in graph:
+        if op.kind == "quantize":
+            bits = op.attrs["bits"]
+            scale = op.attrs["scale"]
+            cur_q = quantize_linear(cur, scale, scheme_qrange(bits))
+            cur_scale, cur_bits = scale, bits
+        elif op.kind == "conv":
+            if cur_q is None:
+                raise ReproError("conv reached without a quantize stage")
+            spec: ConvSpec = op.attrs["spec"]
+            bits = op.attrs["bits"]
+            w_float = weights[spec.name]
+            w_scale = weight_scales.get(
+                spec.name,
+                float(np.max(np.abs(w_float))) / scheme_qrange(bits).max_abs
+                or 1.0,
+            )
+            w_q = quantize_linear(w_float, w_scale, scheme_qrange(bits))
+            acc = conv2d_ref(spec, cur_q.astype(np.int64),
+                             w_q.astype(np.int64), layout=Layout.NCHW)
+            bias = biases.get(spec.name)
+            if bias is not None:
+                acc = acc + np.asarray(bias, dtype=np.int64)[None, :, None, None]
+            acc_scale = cur_scale * w_scale
+            epilogue = op.attrs.get("epilogue", "requant")
+            if epilogue in ("requant", "requant_relu"):
+                out_scale = op.attrs.get("out_scale", acc_scale * 16)
+                q = requantize(acc, acc_scale / out_scale, scheme_qrange(bits))
+                if epilogue == "requant_relu":
+                    q = np.clip(q, 0, scheme_qrange(bits).qmax)
+                cur_q, cur_scale, cur_bits = q, out_scale, bits
+                cur = dequantize_linear(q, out_scale)
+            elif epilogue == "dequant":
+                cur = acc.astype(np.float64) * acc_scale
+                cur_q = None
+            else:
+                raise ReproError(f"unknown conv epilogue {epilogue!r}")
+        elif op.kind == "dequantize":
+            if cur_q is None:
+                raise ReproError("dequantize without a quantized value")
+            cur = dequantize_linear(cur_q, cur_scale)
+            cur_q = None
+        elif op.kind == "relu":
+            if cur_q is not None:
+                cur_q = np.maximum(cur_q, 0)
+                cur = dequantize_linear(cur_q, cur_scale)
+            else:
+                cur = np.maximum(cur, 0.0)
+        else:  # pragma: no cover - Op validates kinds
+            raise ReproError(f"unknown op {op.kind!r}")
+    return cur
+
+
+# ---------------------------------------------------------------------------
+# Cost estimation per backend
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GraphCostReport:
+    """Cycle totals per op for one backend."""
+
+    backend: str
+    op_cycles: list[tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(c for _, c in self.op_cycles)
+
+    @property
+    def kernel_launches(self) -> int:
+        return len(self.op_cycles)
+
+
+def estimate_graph_cycles(graph: Graph, backend: str = "gpu") -> GraphCostReport:
+    """Price every op of the pipeline on a simulated backend.
+
+    GPU: conv via the kernel cost model (epilogue folded in); element-wise
+    ops as bandwidth-bound kernels.  ARM: conv via the ARM layer model
+    (whose quantize/dequantize pass charges are skipped here since the
+    graph carries them explicitly); element-wise ops as byte passes.
+    """
+    report = GraphCostReport(backend=backend)
+    # the element-wise ops act on the most recent conv's output tensor
+    last_elems = 0
+    for op in graph:
+        if op.kind == "conv":
+            spec: ConvSpec = op.attrs["spec"]
+            bits = op.attrs["bits"]
+            last_elems = spec.output_elems
+            if backend == "gpu":
+                from ..gpu.autotune import autotune_conv
+
+                epi = op.attrs.get("epilogue", "requant")
+                out_bytes = 4.0 if epi == "dequant" else bits / 8
+                perf = autotune_conv(spec, bits, out_elem_bytes=out_bytes)
+                report.op_cycles.append((repr(op), perf.best_cycles))
+            elif backend == "arm":
+                from ..arm.conv_runner import time_arm_conv
+                from ..arm.cost_model import PI3B
+
+                perf = time_arm_conv(spec, bits)
+                # graph-level quant ops are explicit; avoid double charge
+                cycles = perf.total_cycles - perf.quant_cycles
+                report.op_cycles.append((repr(op), cycles))
+            else:
+                raise ReproError(f"unknown backend {backend!r}")
+        else:
+            elems = last_elems if last_elems else 0
+            if backend == "gpu":
+                from ..gpu.fusion import elementwise_kernel_cycles
+
+                io = {"quantize": (4.0, 1.0), "dequantize": (1.0, 4.0),
+                      "relu": (1.0, 1.0)}[op.kind]
+                cycles = elementwise_kernel_cycles(elems * io[0], elems * io[1])
+            else:
+                from ..arm.cost_model import PI3B
+
+                per_elem = {"quantize": PI3B.quantize_cycles_per_elem,
+                            "dequantize": PI3B.dequantize_cycles_per_elem,
+                            "relu": 1.0}[op.kind]
+                cycles = elems * per_elem
+            report.op_cycles.append((op.kind, cycles))
+    return report

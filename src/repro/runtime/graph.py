@@ -1,0 +1,99 @@
+"""Linear op-graph IR for quantized conv pipelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterator
+
+from ..errors import ReproError
+from ..types import ConvSpec
+
+#: op kinds the IR knows; conv carries fusion state in its attrs
+OP_KINDS = ("quantize", "conv", "dequantize", "relu")
+
+
+@dataclass(frozen=True)
+class Op:
+    """One pipeline stage.
+
+    ``attrs`` by kind:
+
+    * ``quantize``: ``bits``, ``scale``
+    * ``conv``: ``spec`` (ConvSpec), ``bits``, ``epilogue``
+      (``"requant"``/``"requant_relu"``/``"dequant"``), plus optional
+      backend payloads (weights/bias)
+    * ``dequantize``: ``scale``
+    * ``relu``: —
+    """
+
+    kind: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise ReproError(f"unknown op kind {self.kind!r}")
+        if self.kind == "conv":
+            spec = self.attrs.get("spec")
+            if not isinstance(spec, ConvSpec):
+                raise ReproError("conv op requires a ConvSpec in attrs['spec']")
+
+    def with_attrs(self, **updates: Any) -> "Op":
+        new = dict(self.attrs)
+        new.update(updates)
+        return replace(self, attrs=new)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.kind == "conv":
+            return f"conv[{self.attrs['spec'].name}, {self.attrs.get('epilogue', 'requant')}]"
+        return self.kind
+
+
+@dataclass(frozen=True)
+class Graph:
+    """A linear pipeline of ops."""
+
+    ops: tuple[Op, ...]
+
+    def __iter__(self) -> Iterator[Op]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def kernel_launches(self) -> int:
+        """Each remaining op is one kernel on the GPU backend."""
+        return len(self.ops)
+
+    def convs(self) -> list[Op]:
+        return [op for op in self.ops if op.kind == "conv"]
+
+
+def conv_pipeline(
+    spec: ConvSpec,
+    bits: int,
+    *,
+    with_relu: bool = True,
+    act_scale: float = 0.05,
+    out_scale: float = 0.1,
+) -> Graph:
+    """The unfused Sec. 4.4 pipeline around one convolution.
+
+    quantize -> conv(+requant) -> dequantize [-> quantize -> relu ->
+    dequantize when ``with_relu``].
+    """
+    ops: list[Op] = [
+        Op("quantize", {"bits": bits, "scale": act_scale}),
+        Op("conv", {"spec": spec, "bits": bits, "epilogue": "requant",
+                    "out_scale": out_scale}),
+        Op("dequantize", {"scale": out_scale}),
+    ]
+    if with_relu:
+        # the re-quantize after dequantize reuses the conv's output scale,
+        # so fusing it away is numerically free (tests assert exactness)
+        ops += [
+            Op("quantize", {"bits": bits, "scale": out_scale}),
+            Op("relu", {}),
+            Op("dequantize", {"scale": out_scale}),
+        ]
+    return Graph(tuple(ops))

@@ -1,0 +1,240 @@
+"""End-to-end quantized networks: many conv pipelines chained.
+
+The paper evaluates layers in isolation; its conclusion names end-to-end
+integration as future work ("we would like to integrate our low-bit
+convolution optimizations into deep learning frameworks ... to enable
+end-to-end optimization").  This module provides that layer: a network is
+an ordered list of conv stages (each the Sec. 4.4 pipeline around one
+convolution); it can be
+
+* lowered with the fusion passes stage by stage,
+* priced end-to-end on either simulated backend, and
+* executed functionally on scaled-down shapes for validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ReproError, ShapeError
+from ..types import ConvSpec
+from .executor import GraphCostReport, estimate_graph_cycles, execute_graph
+from .graph import Graph, conv_pipeline
+from .passes import FusionReport, apply_all_fusions
+
+
+@dataclass(frozen=True)
+class NetworkStage:
+    """One convolution stage and its element-wise pipeline."""
+
+    graph: Graph
+
+    @property
+    def spec(self) -> ConvSpec:
+        convs = self.graph.convs()
+        if len(convs) != 1:
+            raise ReproError("a network stage holds exactly one conv")
+        return convs[0].attrs["spec"]
+
+
+@dataclass(frozen=True)
+class Network:
+    """A feed-forward chain of conv stages (shapes must connect)."""
+
+    name: str
+    stages: tuple[NetworkStage, ...]
+
+    def __post_init__(self) -> None:
+        prev: ConvSpec | None = None
+        for stage in self.stages:
+            spec = stage.spec
+            if prev is not None:
+                if spec.in_channels != prev.out_channels:
+                    raise ShapeError(
+                        f"{self.name}: {prev.name} emits {prev.out_channels} "
+                        f"channels but {spec.name} expects {spec.in_channels}"
+                    )
+                if (spec.height, spec.width) != (prev.out_height, prev.out_width):
+                    raise ShapeError(
+                        f"{self.name}: spatial mismatch {prev.name} -> {spec.name}"
+                    )
+            prev = spec
+
+    @property
+    def specs(self) -> list[ConvSpec]:
+        return [s.spec for s in self.stages]
+
+    @property
+    def total_macs(self) -> int:
+        return sum(s.spec.macs for s in self.stages)
+
+    def fuse(self) -> tuple["Network", FusionReport]:
+        """Apply the Sec. 4.4 fusion passes to every stage."""
+        report = FusionReport()
+        stages = []
+        for stage in self.stages:
+            g, r = apply_all_fusions(stage.graph)
+            report = report.merge(r)
+            stages.append(NetworkStage(g))
+        return Network(self.name, tuple(stages)), report
+
+
+def build_network(
+    name: str,
+    specs: list[ConvSpec],
+    bits: int,
+    *,
+    relu: bool = True,
+) -> Network:
+    """A network from connected conv specs, each wrapped in the unfused
+    quantize/conv/dequantize(/quantize/relu/dequantize) pipeline."""
+    stages = tuple(
+        NetworkStage(conv_pipeline(spec, bits, with_relu=relu)) for spec in specs
+    )
+    return Network(name, stages)
+
+
+def build_chain(
+    name: str,
+    in_channels: int,
+    plan: list[tuple[int, int, int]],
+    *,
+    height: int,
+    width: int,
+    batch: int = 1,
+    bits: int = 8,
+    relu: bool = True,
+) -> Network:
+    """Convenience: a small CNN from (out_channels, kernel, stride) rows."""
+    specs: list[ConvSpec] = []
+    cin, h, w = in_channels, height, width
+    for i, (cout, k, s) in enumerate(plan):
+        spec = ConvSpec(
+            f"{name}_conv{i + 1}", in_channels=cin, out_channels=cout,
+            height=h, width=w, kernel=(k, k), stride=(s, s),
+            padding=(k // 2, k // 2), batch=batch,
+        )
+        specs.append(spec)
+        cin, h, w = cout, spec.out_height, spec.out_width
+    return build_network(name, specs, bits, relu=relu)
+
+
+def calibrate_network(
+    net: Network,
+    x: np.ndarray,
+    weights: dict[str, np.ndarray],
+) -> Network:
+    """Post-training calibration: set every stage's quantization scales
+    from the ranges a float forward pass actually produces.
+
+    This is what real deployments do before running the paper's kernels
+    (Sec. 5.1's quantization scheme assumes calibrated scales); without it
+    low-bit pipelines clip catastrophically.  Returns a new network with
+    per-stage ``act_scale``/``out_scale`` baked into the pipelines.
+    """
+    from ..conv.ref import conv2d_float
+    from ..quant.ranges import scheme_qrange
+
+    cur = np.asarray(x, dtype=np.float64)
+    stages: list[NetworkStage] = []
+    for stage in net.stages:
+        spec = stage.spec
+        conv_op = stage.graph.convs()[0]
+        bits = conv_op.attrs["bits"]
+        has_relu = any(op.kind == "relu" for op in stage.graph) or (
+            conv_op.attrs.get("epilogue") == "requant_relu"
+        )
+        edge = scheme_qrange(bits).max_abs
+        act_scale = max(float(np.max(np.abs(cur))), 1e-12) / edge
+        conv_out = conv2d_float(spec, cur, weights[spec.name])
+        out_scale = max(float(np.max(np.abs(conv_out))), 1e-12) / edge
+        stages.append(
+            NetworkStage(
+                conv_pipeline(spec, bits, with_relu=has_relu,
+                              act_scale=act_scale, out_scale=out_scale)
+            )
+        )
+        cur = np.maximum(conv_out, 0.0) if has_relu else conv_out
+    return Network(net.name, tuple(stages))
+
+
+# ---------------------------------------------------------------------------
+# Execution / pricing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class NetworkCostReport:
+    """End-to-end cost: per-stage reports plus totals."""
+
+    backend: str
+    stage_reports: list[GraphCostReport] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(r.total_cycles for r in self.stage_reports)
+
+    @property
+    def kernel_launches(self) -> int:
+        return sum(r.kernel_launches for r in self.stage_reports)
+
+    def milliseconds(self) -> float:
+        clock = 1.2e9 if self.backend == "arm" else 1.545e9
+        return self.total_cycles / clock * 1e3
+
+
+def estimate_network_cycles(net: Network, backend: str = "gpu") -> NetworkCostReport:
+    report = NetworkCostReport(backend=backend)
+    for stage in net.stages:
+        report.stage_reports.append(estimate_graph_cycles(stage.graph, backend))
+    return report
+
+
+def execute_network(
+    net: Network,
+    x: np.ndarray,
+    weights: dict[str, np.ndarray],
+    **kwargs,
+) -> np.ndarray:
+    """Functional end-to-end execution (float in, float out)."""
+    cur = np.asarray(x, dtype=np.float64)
+    for stage in net.stages:
+        cur = execute_graph(stage.graph, cur, weights, **kwargs)
+    return cur
+
+
+def estimate_model_cycles(
+    specs: list[ConvSpec],
+    bits: int,
+    backend: str = "arm",
+    *,
+    fused: bool = True,
+    relu: bool = True,
+) -> NetworkCostReport:
+    """Price a whole model's conv layers (not necessarily a chain).
+
+    Real networks (ResNet's residual blocks, DenseNet's concatenations)
+    aren't simple chains; for *cost* purposes each conv pipeline prices
+    independently, so this sums per-layer pipelines — the way the paper's
+    per-layer evaluation composes into a network estimate.
+    """
+    report = NetworkCostReport(backend=backend)
+    for spec in specs:
+        g = conv_pipeline(spec, bits, with_relu=relu)
+        if fused:
+            g, _ = apply_all_fusions(g)
+        report.stage_reports.append(estimate_graph_cycles(g, backend))
+    return report
+
+
+def random_weights(net: Network, rng: np.random.Generator) -> dict[str, np.ndarray]:
+    """He-initialized float weights for every stage (for demos/tests)."""
+    out = {}
+    for spec in net.specs:
+        fan_in = spec.in_channels * spec.kernel[0] * spec.kernel[1]
+        out[spec.name] = rng.normal(
+            scale=(2.0 / fan_in) ** 0.5, size=spec.weight_shape()
+        )
+    return out

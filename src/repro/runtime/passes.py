@@ -1,0 +1,96 @@
+"""Graph rewrite passes implementing the Sec. 4.4 quantization fusions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .graph import Graph, Op
+
+
+@dataclass
+class FusionReport:
+    """What a fusion pass did (feeds the Fig. 12 accounting)."""
+
+    conv_dequant_fused: int = 0
+    conv_relu_fused: int = 0
+    ops_eliminated: int = 0
+
+    def merge(self, other: "FusionReport") -> "FusionReport":
+        return FusionReport(
+            conv_dequant_fused=self.conv_dequant_fused + other.conv_dequant_fused,
+            conv_relu_fused=self.conv_relu_fused + other.conv_relu_fused,
+            ops_eliminated=self.ops_eliminated + other.ops_eliminated,
+        )
+
+
+def fuse_conv_relu(graph: Graph) -> tuple[Graph, FusionReport]:
+    """Fuse ``conv -> dequantize -> quantize -> relu`` into the conv.
+
+    "We can fuse convolution and ReLU kernels by changing the truncated
+    range of re-quantization in convolution kernel" — the dequantize /
+    quantize pair between them vanishes entirely.
+    Run this *before* conv+dequant fusion: it matches the longer pattern.
+    """
+    ops = list(graph.ops)
+    out: list[Op] = []
+    report = FusionReport()
+    i = 0
+    while i < len(ops):
+        op = ops[i]
+        if (
+            op.kind == "conv"
+            and op.attrs.get("epilogue") == "requant"
+            and i + 3 < len(ops)
+            and ops[i + 1].kind == "dequantize"
+            and ops[i + 2].kind == "quantize"
+            and ops[i + 3].kind == "relu"
+        ):
+            out.append(op.with_attrs(epilogue="requant_relu"))
+            report.conv_relu_fused += 1
+            report.ops_eliminated += 3
+            i += 4
+            continue
+        out.append(op)
+        i += 1
+    return Graph(tuple(out)), report
+
+
+def fuse_conv_dequant(graph: Graph) -> tuple[Graph, FusionReport]:
+    """Fuse ``conv -> dequantize`` into a fp32-emitting conv epilogue.
+
+    "We combine the calculation process of convolution and dequantization,
+    skip storing the intermediate results with int8 data type, and
+    directly transform the results from int32 to fp32."
+    """
+    ops = list(graph.ops)
+    out: list[Op] = []
+    report = FusionReport()
+    i = 0
+    while i < len(ops):
+        op = ops[i]
+        if (
+            op.kind == "conv"
+            and op.attrs.get("epilogue") == "requant"
+            and i + 1 < len(ops)
+            and ops[i + 1].kind == "dequantize"
+        ):
+            out.append(
+                op.with_attrs(
+                    epilogue="dequant",
+                    dequant_scale=ops[i + 1].attrs.get("scale", 1.0),
+                )
+            )
+            report.conv_dequant_fused += 1
+            report.ops_eliminated += 1
+            i += 2
+            continue
+        out.append(op)
+        i += 1
+    return Graph(tuple(out)), report
+
+
+def apply_all_fusions(graph: Graph) -> tuple[Graph, FusionReport]:
+    """conv+ReLU first (longer pattern), then conv+dequant on the rest."""
+    g1, r1 = fuse_conv_relu(graph)
+    g2, r2 = fuse_conv_dequant(g1)
+    return g2, r1.merge(r2)

@@ -1,0 +1,205 @@
+"""Core value types shared by every subsystem.
+
+The central object is :class:`ConvSpec` — a complete static description of a
+convolution layer (shapes, stride, padding, batch). Both architecture
+backends, the analytic models and the workload tables all speak ConvSpec.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from .errors import ShapeError
+
+
+class Layout(enum.Enum):
+    """Activation tensor memory layout.
+
+    The paper uses NCHW on ARM CPU and NHWC on NVIDIA GPU (Sec. 5.1).
+    """
+
+    NCHW = "NCHW"
+    NHWC = "NHWC"
+
+
+def _pair(v: int | Tuple[int, int]) -> Tuple[int, int]:
+    if isinstance(v, tuple):
+        if len(v) != 2:
+            raise ShapeError(f"expected 2-tuple, got {v!r}")
+        return (int(v[0]), int(v[1]))
+    return (int(v), int(v))
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """Static description of a 2-D convolution layer.
+
+    Attributes
+    ----------
+    name:
+        Human-readable layer name (e.g. ``"conv14"``).
+    in_channels, out_channels:
+        Channel counts.
+    height, width:
+        *Input* spatial size (pre-padding).
+    kernel:
+        ``(kh, kw)`` filter size.
+    stride, padding:
+        ``(sh, sw)`` and ``(ph, pw)``; padding is symmetric.
+    batch:
+        Mini-batch size.
+    groups:
+        Grouped convolution factor (1 for all paper workloads).
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    height: int
+    width: int
+    kernel: Tuple[int, int] = (3, 3)
+    stride: Tuple[int, int] = (1, 1)
+    padding: Tuple[int, int] = (0, 0)
+    batch: int = 1
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kernel", _pair(self.kernel))
+        object.__setattr__(self, "stride", _pair(self.stride))
+        object.__setattr__(self, "padding", _pair(self.padding))
+        for attr in ("in_channels", "out_channels", "height", "width", "batch", "groups"):
+            v = getattr(self, attr)
+            if not isinstance(v, int) or v <= 0:
+                raise ShapeError(f"{attr} must be a positive int, got {v!r}")
+        kh, kw = self.kernel
+        sh, sw = self.stride
+        ph, pw = self.padding
+        if kh <= 0 or kw <= 0 or sh <= 0 or sw <= 0 or ph < 0 or pw < 0:
+            raise ShapeError(f"invalid kernel/stride/padding in {self.name}")
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ShapeError(
+                f"{self.name}: channels ({self.in_channels}->{self.out_channels}) "
+                f"not divisible by groups={self.groups}"
+            )
+        if self.out_height <= 0 or self.out_width <= 0:
+            raise ShapeError(f"{self.name}: non-positive output spatial size")
+
+    # ---- derived geometry -------------------------------------------------
+
+    @property
+    def out_height(self) -> int:
+        kh, _ = self.kernel
+        sh, _ = self.stride
+        ph, _ = self.padding
+        return (self.height + 2 * ph - kh) // sh + 1
+
+    @property
+    def out_width(self) -> int:
+        _, kw = self.kernel
+        _, sw = self.stride
+        _, pw = self.padding
+        return (self.width + 2 * pw - kw) // sw + 1
+
+    @property
+    def out_spatial(self) -> int:
+        return self.out_height * self.out_width
+
+    # ---- GEMM view (explicit-GEMM convolution, Sec. 2.2) ------------------
+
+    @property
+    def gemm_m(self) -> int:
+        """Rows of the GEMM: output channels."""
+        return self.out_channels
+
+    @property
+    def gemm_k(self) -> int:
+        """Reduction dimension: in_channels/groups * kh * kw."""
+        kh, kw = self.kernel
+        return (self.in_channels // self.groups) * kh * kw
+
+    @property
+    def gemm_n(self) -> int:
+        """Columns of the GEMM: output pixels (per image)."""
+        return self.out_spatial
+
+    # ---- work / footprint accounting --------------------------------------
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count for the full layer (all batch images).
+
+        ``gemm_m`` spans all output channels and ``gemm_k`` is already the
+        per-group reduction, so no extra group factor appears.
+        """
+        return self.batch * self.gemm_m * self.gemm_n * self.gemm_k
+
+    @property
+    def input_elems(self) -> int:
+        return self.batch * self.in_channels * self.height * self.width
+
+    @property
+    def output_elems(self) -> int:
+        return self.batch * self.out_channels * self.out_spatial
+
+    @property
+    def weight_elems(self) -> int:
+        kh, kw = self.kernel
+        return self.out_channels * (self.in_channels // self.groups) * kh * kw
+
+    def input_shape(self, layout: Layout = Layout.NCHW) -> Tuple[int, int, int, int]:
+        if layout is Layout.NCHW:
+            return (self.batch, self.in_channels, self.height, self.width)
+        return (self.batch, self.height, self.width, self.in_channels)
+
+    def output_shape(self, layout: Layout = Layout.NCHW) -> Tuple[int, int, int, int]:
+        if layout is Layout.NCHW:
+            return (self.batch, self.out_channels, self.out_height, self.out_width)
+        return (self.batch, self.out_height, self.out_width, self.out_channels)
+
+    def weight_shape(self, layout: Layout = Layout.NCHW) -> Tuple[int, int, int, int]:
+        kh, kw = self.kernel
+        cin_g = self.in_channels // self.groups
+        if layout is Layout.NCHW:
+            return (self.out_channels, cin_g, kh, kw)
+        return (self.out_channels, kh, kw, cin_g)
+
+    def with_batch(self, batch: int) -> "ConvSpec":
+        return replace(self, batch=batch)
+
+    def is_winograd_eligible(self) -> bool:
+        """F(2x2, 3x3) winograd applies to 3x3 stride-1 convolutions."""
+        return self.kernel == (3, 3) and self.stride == (1, 1) and self.groups == 1
+
+    def describe(self) -> str:
+        kh, kw = self.kernel
+        sh, sw = self.stride
+        return (
+            f"{self.name}: {self.in_channels}->{self.out_channels} "
+            f"{kh}x{kw}/s{sh} @ {self.height}x{self.width} (batch {self.batch})"
+        )
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """Plain (M, K, N) GEMM problem: C[M,N] += A[M,K] @ B[K,N]."""
+
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        for attr in ("m", "k", "n"):
+            v = getattr(self, attr)
+            if not isinstance(v, int) or v <= 0:
+                raise ShapeError(f"GemmShape.{attr} must be a positive int, got {v!r}")
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+    @classmethod
+    def from_conv(cls, spec: ConvSpec) -> "GemmShape":
+        """GEMM problem of the explicit-GEMM convolution for one image."""
+        return cls(m=spec.gemm_m, k=spec.gemm_k, n=spec.gemm_n)

@@ -1,0 +1,63 @@
+"""Quantization-fidelity analysis (the 'no accuracy loss' support)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import float_reference_network, output_sqnr, sqnr_sweep
+from repro.conv.ref import conv2d_float, conv2d_ref
+from repro.runtime import build_chain, calibrate_network, random_weights
+from repro.types import ConvSpec, Layout
+
+PLAN = [(8, 3, 1), (16, 3, 2)]
+
+
+def _setup(bits=8, seed=0):
+    rng = np.random.default_rng(seed)
+    net = build_chain("t", 3, PLAN, height=12, width=12, bits=bits)
+    w = random_weights(net, rng)
+    x = rng.normal(size=(1, 3, 12, 12))
+    return net, w, x
+
+
+def test_conv2d_float_matches_integer_ref_on_integer_data():
+    rng = np.random.default_rng(0)
+    spec = ConvSpec("c", in_channels=3, out_channels=5, height=7, width=8,
+                    kernel=(3, 3), stride=(2, 2), padding=(1, 1))
+    x = rng.integers(-8, 8, spec.input_shape(Layout.NCHW))
+    w = rng.integers(-8, 8, spec.weight_shape(Layout.NCHW))
+    f = conv2d_float(spec, x.astype(np.float64), w.astype(np.float64))
+    r = conv2d_ref(spec, x.astype(np.int64), w.astype(np.int64))
+    assert np.allclose(f, r)
+
+
+def test_float_reference_applies_relu():
+    net, w, x = _setup()
+    ref = float_reference_network(net, x, w)
+    assert np.all(ref >= 0)
+
+
+def test_sqnr_increases_with_bits():
+    """The ~6 dB/bit uniform-quantizer law, through the whole pipeline."""
+    _, w, x = _setup()
+
+    def build(bits):
+        net = build_chain("t", 3, PLAN, height=12, width=12, bits=bits)
+        return calibrate_network(net, x, w)
+
+    reports = sqnr_sweep(build, x, w, bits_list=(3, 4, 5, 6, 7, 8))
+    sqnrs = [r.sqnr_db for r in reports]
+    assert sqnrs == sorted(sqnrs)
+    # roughly 6 dB per bit across the sweep
+    slope = (sqnrs[-1] - sqnrs[0]) / (8 - 3)
+    assert 3.5 < slope < 8.0
+    # 8-bit is high-fidelity, as the paper's accuracy argument requires
+    assert sqnrs[-1] > 25.0
+
+
+def test_sqnr_report_fields():
+    net, w, x = _setup()
+    cal = calibrate_network(net, x, w)
+    r = output_sqnr(cal, x, w)
+    assert r.bits == 8
+    assert r.ref_rms > 0
+    assert r.max_abs_err >= 0

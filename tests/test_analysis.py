@@ -1,0 +1,86 @@
+"""Space-overhead accounting (Fig. 13) and report formatting."""
+
+import pytest
+
+from repro.analysis import (
+    Series,
+    ascii_bar,
+    ascii_chart,
+    format_table,
+    model_space_report,
+    space_overhead,
+)
+from repro.errors import ReproError
+from repro.models import resnet50_conv_layers
+from repro.types import ConvSpec
+
+
+def test_pointwise_layer_im2col_is_activation_sized():
+    spec = ConvSpec("p", in_channels=64, out_channels=64, height=56, width=56,
+                    kernel=(1, 1))
+    so = space_overhead(spec)
+    assert so.im2col_bytes == so.activation_bytes
+    # footprint keeps the activation alive alongside the column matrix
+    expected = (2 * so.activation_bytes + so.weight_bytes) / so.baseline_bytes
+    assert so.im2col_ratio == pytest.approx(expected)
+
+
+def test_strided_pointwise_matches_paper_minimum():
+    """The paper's Fig. 13 minimum (1.0218x at its conv18) is the
+    1024->2048 stride-2 pointwise layer."""
+    spec = ConvSpec("p", in_channels=1024, out_channels=2048, height=14,
+                    width=14, kernel=(1, 1), stride=(2, 2))
+    assert space_overhead(spec).im2col_ratio == pytest.approx(1.0218, abs=1e-4)
+
+
+def test_3x3_layer_im2col_is_about_9x_activation():
+    spec = ConvSpec("m", in_channels=64, out_channels=64, height=56, width=56,
+                    kernel=(3, 3), padding=(1, 1))
+    so = space_overhead(spec)
+    assert so.im2col_bytes == 9 * 64 * 56 * 56
+    assert 7.0 < so.im2col_ratio < 9.0
+
+
+def test_pack_overhead_is_tiny():
+    """Fig. 13: pad+pack overhead ranges 1.0x ~ 1.0058x."""
+    for so in model_space_report(resnet50_conv_layers()):
+        assert 1.0 <= so.pack_ratio < 1.02
+
+
+def test_resnet50_fig13_matches_paper():
+    """Fig. 13: im2col overhead min 1.0218x, max 8.6034x, avg ~1.94;
+    pad/pack overhead 1.0x ~ 1.0058x with average ~1.0010."""
+    report = model_space_report(resnet50_conv_layers())
+    ratios = [so.im2col_ratio for so in report]
+    assert min(ratios) == pytest.approx(1.0218, abs=5e-3)
+    assert max(ratios) == pytest.approx(8.6034, abs=5e-2)
+    avg = sum(ratios) / len(ratios)
+    assert 1.5 < avg < 2.5
+    packs = [so.pack_ratio for so in report]
+    assert max(packs) < 1.01
+    totals = [so.total_ratio for so in report]
+    assert min(totals) == pytest.approx(1.0232, abs=5e-3)
+
+
+def test_pack_exact_bytes():
+    spec = ConvSpec("m", in_channels=3, out_channels=10, height=8, width=8,
+                    kernel=(3, 3), padding=(1, 1))
+    so = space_overhead(spec, n_a=16, n_b=4)
+    assert so.packed_a_bytes == 16 * 27  # M=10 padded to 16
+    assert so.packed_b_bytes == 27 * 64  # N=64 already aligned
+
+
+def test_series_and_table():
+    s1 = Series("a", (1.0, 2.0, 4.0))
+    assert s1.geomean() == pytest.approx(2.0)
+    out = format_table(["x", "y", "z"], [s1])
+    assert "geomean" in out and "2.00" in out
+    with pytest.raises(ReproError):
+        format_table(["x"], [s1])
+
+
+def test_ascii_helpers():
+    assert ascii_bar(2.0, scale=3) == "######"
+    assert ascii_bar(-1.0) == ""
+    chart = ascii_chart(["l1"], [Series("s", (1.5,))])
+    assert "l1" in chart and "#" in chart

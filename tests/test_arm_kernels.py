@@ -1,0 +1,227 @@
+"""Generated micro-kernels: bit-exactness, overflow certification, cost
+structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arm.kernels import (
+    generate_mla_kernel,
+    generate_ncnn_kernel,
+    generate_popcount_kernel,
+    generate_smlal_kernel,
+)
+from repro.arm.kernels.popcount_scheme import execute_popcount
+from repro.arm.ratios import mla_chain_length, smlal_chain_length
+from repro.conv.padding import pack_a, pack_b
+from repro.errors import OverflowDetected, ShapeError, UnsupportedBitsError
+
+
+def run_gemm_kernel(kern, a, b, **kw):
+    ap = pack_a(a, kern.m_r)
+    bp = pack_b(b, kern.n_r)
+    if kern.name == "ncnn8":
+        bp = np.concatenate([bp, np.zeros(4, dtype=bp.dtype)])
+    return kern.execute(ap, bp, **kw)
+
+
+def rand_operands(rng, bits, m, k, n):
+    half = 1 << (bits - 1)
+    lo, hi = (-(half - 1), half) if bits >= 7 else (-half, half)
+    a = rng.integers(lo, hi, (m, k)).astype(np.int8)
+    b = rng.integers(lo, hi, (k, n)).astype(np.int8)
+    return a, b
+
+
+@pytest.mark.parametrize("bits", [4, 5, 6, 7, 8])
+def test_smlal_kernel_exact(bits):
+    rng = np.random.default_rng(bits)
+    a, b = rand_operands(rng, bits, 16, 130, 4)
+    kern = generate_smlal_kernel(bits, 130)
+    tile = run_gemm_kernel(kern, a, b, check_overflow=True)
+    assert np.array_equal(tile, a.astype(np.int64) @ b.astype(np.int64))
+
+
+@pytest.mark.parametrize("bits", [2, 3])
+def test_mla_kernel_exact(bits):
+    rng = np.random.default_rng(bits)
+    a, b = rand_operands(rng, bits, 64, 95, 1)
+    kern = generate_mla_kernel(bits, 95)
+    tile = run_gemm_kernel(kern, a, b, check_overflow=True)
+    assert np.array_equal(tile, a.astype(np.int64) @ b.astype(np.int64))
+
+
+def test_ncnn_kernel_exact():
+    rng = np.random.default_rng(99)
+    a, b = rand_operands(rng, 8, 8, 61, 4)
+    kern = generate_ncnn_kernel(61)
+    tile = run_gemm_kernel(kern, a, b, check_overflow=True)
+    assert np.array_equal(tile, a.astype(np.int64) @ b.astype(np.int64))
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(2, 8), st.integers(1, 70))
+@settings(max_examples=25, deadline=None)
+def test_any_scheme_any_k_exact(seed, bits, k):
+    rng = np.random.default_rng(seed)
+    if bits in (2, 3):
+        kern = generate_mla_kernel(bits, k)
+        a, b = rand_operands(rng, bits, 64, k, 1)
+    else:
+        kern = generate_smlal_kernel(bits, k)
+        a, b = rand_operands(rng, bits, 16, k, 4)
+    tile = run_gemm_kernel(kern, a, b, check_overflow=True)
+    assert np.array_equal(tile, a.astype(np.int64) @ b.astype(np.int64))
+
+
+def test_interleave_off_still_exact():
+    rng = np.random.default_rng(5)
+    a, b = rand_operands(rng, 4, 16, 67, 4)
+    kern = generate_smlal_kernel(4, 67, interleave=False)
+    tile = run_gemm_kernel(kern, a, b, check_overflow=True)
+    assert np.array_equal(tile, a.astype(np.int64) @ b.astype(np.int64))
+    a2, b2 = rand_operands(rng, 2, 64, 40, 1)
+    kern2 = generate_mla_kernel(2, 40, interleave=False)
+    tile2 = run_gemm_kernel(kern2, a2, b2, check_overflow=True)
+    assert np.array_equal(tile2, a2.astype(np.int64) @ b2.astype(np.int64))
+    a3, b3 = rand_operands(rng, 8, 8, 33, 4)
+    kern3 = generate_ncnn_kernel(33, interleave=False)
+    tile3 = run_gemm_kernel(kern3, a3, b3, check_overflow=True)
+    assert np.array_equal(tile3, a3.astype(np.int64) @ b3.astype(np.int64))
+
+
+# ---------------------------------------------------------------------------
+# Overflow certification of the Sec. 3.3 chain lengths
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("bits", [4, 5, 6, 7, 8])
+def test_published_chain_never_overflows_smlal(bits):
+    """Worst-case operands at the published chain length stay exact."""
+    chain = smlal_chain_length(bits)
+    k = min(chain, 600)
+    half = 1 << (bits - 1)
+    worst = -(half - 1) if bits >= 7 else -half  # scheme range extreme
+    a = np.full((16, k), worst, dtype=np.int8)
+    b = np.full((k, 4), worst, dtype=np.int8)
+    kern = generate_smlal_kernel(bits, k, round_steps=k)
+    tile = run_gemm_kernel(kern, a, b, check_overflow=True)  # must not raise
+    assert tile[0, 0] == k * worst * worst
+
+
+@pytest.mark.parametrize("bits", [4, 5, 6, 7, 8])
+def test_one_past_chain_overflows_smlal(bits):
+    chain = smlal_chain_length(bits)
+    if chain >= 600:
+        pytest.skip("4-bit chain too long to execute exhaustively here")
+    k = chain + 1
+    half = 1 << (bits - 1)
+    worst = -(half - 1) if bits >= 7 else -half
+    a = np.full((16, k), worst, dtype=np.int8)
+    b = np.full((k, 4), worst, dtype=np.int8)
+    kern = generate_smlal_kernel(bits, k, round_steps=k)  # drain too late
+    with pytest.raises(OverflowDetected):
+        run_gemm_kernel(kern, a, b, check_overflow=True)
+
+
+@pytest.mark.parametrize("bits", [2, 3])
+def test_published_chain_never_overflows_mla(bits):
+    chain = mla_chain_length(bits)
+    half = 1 << (bits - 1)
+    a = np.full((64, chain), -half, dtype=np.int8)
+    b = np.full((chain, 1), -half, dtype=np.int8)
+    kern = generate_mla_kernel(bits, chain, chain_steps=chain)
+    tile = run_gemm_kernel(kern, a, b, check_overflow=True)
+    assert tile[0, 0] == chain * half * half
+
+
+@pytest.mark.parametrize("bits", [2, 3])
+def test_one_past_chain_overflows_mla(bits):
+    chain = mla_chain_length(bits)
+    k = chain + 1
+    half = 1 << (bits - 1)
+    a = np.full((64, k), -half, dtype=np.int8)
+    b = np.full((k, 1), -half, dtype=np.int8)
+    kern = generate_mla_kernel(bits, k, chain_steps=k)
+    with pytest.raises(OverflowDetected):
+        run_gemm_kernel(kern, a, b, check_overflow=True)
+
+
+# ---------------------------------------------------------------------------
+# Popcount kernel
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(1, 400))
+@settings(max_examples=20, deadline=None)
+def test_popcount_kernel_exact(seed, k):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-2, 2, (2, k)).astype(np.int8)
+    b = rng.integers(-2, 2, (2, k)).astype(np.int8)
+    kern = generate_popcount_kernel(k)
+    tile = execute_popcount(kern, a, b)
+    assert np.array_equal(tile, a.astype(np.int64) @ b.T.astype(np.int64))
+
+
+def test_popcount_operand_shape_checked():
+    kern = generate_popcount_kernel(10)
+    with pytest.raises(ShapeError):
+        execute_popcount(kern, np.zeros((2, 9), np.int8), np.zeros((2, 10), np.int8))
+
+
+# ---------------------------------------------------------------------------
+# Cost structure
+# ---------------------------------------------------------------------------
+
+
+def test_mac_throughput_ordering():
+    """Cycles/MAC: MLA scheme < SMLAL scheme < ncnn (the paper's premise)."""
+    k = 256
+
+    def cpm(kern):
+        return kern.cycles().cycles / (kern.m_r * kern.n_r * k)
+
+    mla = cpm(generate_mla_kernel(2, k))
+    smlal = cpm(generate_smlal_kernel(4, k))
+    ncnn = cpm(generate_ncnn_kernel(k))
+    assert mla < smlal < ncnn
+    # MLA's 16 lanes vs SMLAL's 8: roughly 2x ("twice computation throughput")
+    assert smlal / mla == pytest.approx(2.0, rel=0.35)
+
+
+def test_lower_bits_cost_less_in_smlal_scheme():
+    """Fewer SADDW drains at lower bit widths -> monotone kernel cycles."""
+    k = 512
+    cycles = [generate_smlal_kernel(b, k).cycles().cycles for b in (4, 5, 6, 7, 8)]
+    assert cycles == sorted(cycles)
+    assert cycles[-1] > cycles[0] * 1.5  # 8-bit pays drains every 2 steps
+
+
+def test_interleave_reduces_cycles():
+    for gen in (
+        lambda il: generate_smlal_kernel(4, 128, interleave=il),
+        lambda il: generate_mla_kernel(2, 128, interleave=il),
+        lambda il: generate_ncnn_kernel(128, interleave=il),
+    ):
+        fast = gen(True).cycles().cycles
+        slow = gen(False).cycles().cycles
+        assert fast < slow
+
+
+def test_kernel_validation():
+    with pytest.raises(UnsupportedBitsError):
+        generate_smlal_kernel(3, 10)
+    with pytest.raises(UnsupportedBitsError):
+        generate_mla_kernel(4, 10)
+    with pytest.raises(ShapeError):
+        generate_smlal_kernel(4, 0)
+    with pytest.raises(ShapeError):
+        generate_ncnn_kernel(-1)
+
+
+def test_mac_lane_accounting():
+    kern = generate_smlal_kernel(4, 32)
+    assert kern.mac_lanes == 16 * 4 * 32
+    kern2 = generate_mla_kernel(2, 32)
+    assert kern2.mac_lanes == 64 * 1 * 32
+    kern3 = generate_ncnn_kernel(32)
+    assert kern3.mac_lanes == 8 * 4 * 32

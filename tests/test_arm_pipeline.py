@@ -1,0 +1,107 @@
+"""In-order dual-issue pipeline model behavior."""
+
+import pytest
+
+from repro.arm.isa import Instr, MemRef
+from repro.arm.pipeline import A53_COST_TABLE, PipelineModel
+from repro.errors import SimulationError
+
+
+def sched(stream):
+    return PipelineModel(A53_COST_TABLE).schedule(stream)
+
+
+def test_empty_stream():
+    r = sched([])
+    assert r.instructions == 0
+
+
+def test_dual_issue_of_independent_scalars():
+    # 8 independent 1-cycle scalar ops at width 2 -> 4 cycles-ish
+    stream = [Instr("MOV_X_IMM", dst=(f"x{i}",), imm=0) for i in range(8)]
+    r = sched(stream)
+    assert r.cycles <= 5
+    assert r.ipc > 1.5
+
+
+def test_neon_pipe_serializes_vector_ops():
+    # independent 128-bit NEON ops occupy the 64-bit pipe 2 cycles each
+    stream = [Instr("MOVI_ZERO", dst=(f"v{i}",)) for i in range(8)]
+    stream += [
+        Instr("AND_16B", dst=(f"v{8 + i}",), src=(f"v{i}", f"v{i}"))
+        for i in range(8)
+    ]
+    r = sched(stream)
+    assert r.neon_busy == 8 * 1 + 8 * 2
+    assert r.cycles >= r.neon_busy
+
+
+def test_mem_port_is_single():
+    stream = [
+        Instr("LD1_16B", dst=(f"v{i}",), mem=MemRef("A", 16 * i)) for i in range(6)
+    ]
+    r = sched(stream)
+    assert r.mem_busy == 12
+    assert r.cycles >= 12  # one LS pipe
+
+
+def test_raw_hazard_stalls():
+    a = [
+        Instr("LD1_16B", dst=("v0",), mem=MemRef("A", 0)),
+        Instr("AND_16B", dst=("v1",), src=("v0", "v0")),  # depends on load
+    ]
+    r = sched(a)
+    # load latency 4 forces the AND to wait
+    assert r.cycles >= 4 + 1
+
+
+def test_accumulator_forwarding_keeps_mac_chains_fast():
+    """Back-to-back SMLAL into the same register must not pay full latency;
+    this is what makes the paper's accumulate chains viable at all."""
+    chain = [
+        Instr("SMLAL_8H", dst=("v2",), src=("v0", "v1")) for _ in range(32)
+    ]
+    r = sched(chain)
+    # with 1-cycle accumulate forwarding the chain is throughput-bound:
+    # ~2 cycles per instruction, not ~4 (the general latency)
+    assert r.cycles <= 32 * 2 + 6
+    # same ops into *different* non-dependent accumulators schedule the same
+    indep = [
+        Instr("SMLAL_8H", dst=(f"v{2 + (i % 8)}",), src=("v0", "v1"))
+        for i in range(32)
+    ]
+    r2 = sched(indep)
+    assert abs(r2.cycles - r.cycles) <= 4
+
+
+def test_loads_overlap_neon_work():
+    """Dual issue lets the LS pipe run under NEON ops — the reason the
+    paper interleaves {LD1, LD4R} with SMLAL (Alg. 1 lines 3-8)."""
+    neon = [Instr("SMLAL_8H", dst=(f"v{10 + i % 4}",), src=("v0", "v1"))
+            for i in range(16)]
+    loads = [Instr("LD1_16B", dst=("v5",), mem=MemRef("A", 16 * i))
+             for i in range(8)]
+    # interleaved: loads hide under the NEON pipe occupancy
+    inter = []
+    for i in range(16):
+        inter.append(neon[i])
+        if i < 8:
+            inter.append(loads[i])
+    r_inter = sched(inter)
+    r_neon_only = sched(neon)
+    assert r_inter.cycles <= r_neon_only.cycles + 4  # loads nearly free
+
+
+def test_unknown_opcode_cost_rejected():
+    class Fake:
+        op = "TOTALLY_FAKE"
+        dst = ()
+        src = ()
+
+    with pytest.raises(SimulationError):
+        sched([Fake()])
+
+
+def test_result_seconds():
+    r = sched([Instr("MOV_X_IMM", dst=("x0",), imm=0)])
+    assert r.seconds() == pytest.approx(r.cycles / 1.2e9)

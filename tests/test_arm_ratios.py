@@ -1,0 +1,75 @@
+"""The Sec. 3.3 chain-length table — the paper's central overflow analysis."""
+
+import pytest
+
+from repro.arm.ratios import (
+    UNROLL_FACTORS,
+    chain_length,
+    chain_table,
+    mla_chain_length,
+    round_interval,
+    saddw_second_level_interval,
+    smlal_chain_length,
+)
+from repro.errors import UnsupportedBitsError
+
+
+def test_published_smlal_ratios():
+    """'for 4, 5, 6, 7 and 8-bit GEMM, the ratio of SMLAL to SADDW
+    instruction is 511/1, 127/1, 31/1, 8/1 and 2/1'"""
+    assert smlal_chain_length(4) == 511
+    assert smlal_chain_length(5) == 127
+    assert smlal_chain_length(6) == 31
+    assert smlal_chain_length(7) == 8
+    assert smlal_chain_length(8) == 2
+
+
+def test_published_mla_ratios():
+    """'we control the ratio of MLA to SADDW as 31/1 and 7/1 for 2 and
+    3-bit GEMM'"""
+    assert mla_chain_length(2) == 31
+    assert mla_chain_length(3) == 7
+
+
+def test_adjustment_is_what_buys_7_and_8_bit():
+    # without the range adjustment, 7-bit only chains 7 and 8-bit only 1
+    assert smlal_chain_length(7, adjusted=False) == 7
+    assert smlal_chain_length(8, adjusted=False) == 1
+    assert smlal_chain_length(8, adjusted=True) == 2
+
+
+def test_chain_table():
+    assert chain_table() == {2: 31, 3: 7, 4: 511, 5: 127, 6: 31, 7: 8, 8: 2}
+
+
+def test_scheme_boundaries():
+    with pytest.raises(UnsupportedBitsError):
+        smlal_chain_length(3)
+    with pytest.raises(UnsupportedBitsError):
+        mla_chain_length(4)
+    with pytest.raises(UnsupportedBitsError):
+        chain_length(1)
+
+
+def test_unroll_factors_are_safe():
+    """The paper's unroll factors (32/24/16/8/2) never exceed the safe
+    chain, so one drain per unrolled block cannot overflow."""
+    assert UNROLL_FACTORS == {4: 32, 5: 24, 6: 16, 7: 8, 8: 2}
+    for bits, unroll in UNROLL_FACTORS.items():
+        assert unroll <= smlal_chain_length(bits)
+
+
+def test_round_interval():
+    assert round_interval(2) == 31
+    assert round_interval(3) == 7
+    assert round_interval(4) == 32
+    assert round_interval(8) == 2
+
+
+def test_second_level_interval_math():
+    # 2-bit: each drain adds <= 31*4 = 124 to an int16 lane
+    assert saddw_second_level_interval(2) == 32767 // (31 * 4)
+    # 3-bit: each drain adds <= 7*16 = 112
+    assert saddw_second_level_interval(3) == 32767 // (7 * 16)
+    with pytest.raises(UnsupportedBitsError):
+        saddw_second_level_interval(4)

@@ -1,0 +1,188 @@
+"""Functional NEON-subset simulator: exact per-instruction semantics."""
+
+import numpy as np
+import pytest
+
+from repro.arm.isa import Instr, MemRef
+from repro.arm.simulator import ArmSimulator
+from repro.errors import OverflowDetected, SimulationError
+
+
+def make_sim(**buffers):
+    bufs = {"mem": np.zeros(256, dtype=np.uint8)}
+    bufs.update(buffers)
+    return ArmSimulator(bufs)
+
+
+def test_ld1_st1_roundtrip():
+    data = np.arange(16, dtype=np.uint8)
+    sim = make_sim(src=data.copy(), dst=np.zeros(16, np.uint8))
+    sim.run([
+        Instr("LD1_16B", dst=("v0",), mem=MemRef("src", 0)),
+        Instr("ST1_16B", src=("v0",), mem=MemRef("dst", 0)),
+    ])
+    assert np.array_equal(sim.buffer("dst"), data)
+
+
+def test_ld1_8b_zeroes_upper():
+    sim = make_sim(src=np.full(16, 7, np.uint8))
+    sim.regs.v_bytes("v0")[:] = 0xFF
+    sim.step(Instr("LD1_8B", dst=("v0",), mem=MemRef("src", 0)))
+    assert sim.regs.v_bytes("v0")[:8].tolist() == [7] * 8
+    assert sim.regs.v_bytes("v0")[8:].tolist() == [0] * 8
+
+
+def test_ld4r_replicates():
+    sim = make_sim(src=np.array([1, 2, 3, 4], dtype=np.uint8))
+    sim.step(Instr("LD4R_B", dst=("v0", "v1", "v2", "v3"), mem=MemRef("src", 0)))
+    for i, reg in enumerate(("v0", "v1", "v2", "v3")):
+        assert sim.regs.v_bytes(reg).tolist() == [i + 1] * 16
+
+
+def test_ld1r_replicates():
+    sim = make_sim(src=np.array([200], dtype=np.uint8))
+    sim.step(Instr("LD1R_B", dst=("v5",), mem=MemRef("src", 0)))
+    assert sim.regs.v_i8("v5").tolist() == [200 - 256] * 16  # -56
+
+
+def test_smlal_8h_lower_and_upper():
+    sim = make_sim()
+    sim.regs.v_i8("v0")[:] = np.arange(-8, 8)
+    sim.regs.v_i8("v1")[:] = 3
+    sim.step(Instr("SMLAL_8H", dst=("v2",), src=("v0", "v1")))
+    assert sim.regs.v_i16("v2").tolist() == [3 * v for v in range(-8, 0)]
+    sim.step(Instr("SMLAL2_8H", dst=("v3",), src=("v0", "v1")))
+    assert sim.regs.v_i16("v3").tolist() == [3 * v for v in range(0, 8)]
+
+
+def test_smlal_accumulates_and_wraps():
+    sim = make_sim()
+    sim.regs.v_i8("v0")[:] = 127
+    sim.regs.v_i8("v1")[:] = 127
+    for _ in range(2):
+        sim.step(Instr("SMLAL_8H", dst=("v2",), src=("v0", "v1")))
+    assert sim.regs.v_i16("v2")[0] == 2 * 127 * 127  # 32258, still fits
+    sim.step(Instr("SMLAL_8H", dst=("v2",), src=("v0", "v1")))
+    # 3*16129 = 48387 wraps to 48387 - 65536
+    assert sim.regs.v_i16("v2")[0] == 48387 - 65536
+
+
+def test_check_overflow_raises_on_wrap():
+    sim = ArmSimulator({"m": np.zeros(16, np.uint8)}, check_overflow=True)
+    sim.regs.v_i8("v0")[:] = 127
+    sim.regs.v_i8("v1")[:] = 127
+    sim.step(Instr("SMLAL_8H", dst=("v2",), src=("v0", "v1")))
+    sim.step(Instr("SMLAL_8H", dst=("v2",), src=("v0", "v1")))
+    with pytest.raises(OverflowDetected):
+        sim.step(Instr("SMLAL_8H", dst=("v2",), src=("v0", "v1")))
+
+
+def test_mla_16b_wraps_mod_256():
+    sim = make_sim()
+    sim.regs.v_i8("v0")[:] = 10
+    sim.regs.v_i8("v1")[:] = 10
+    sim.step(Instr("MLA_16B", dst=("v2",), src=("v0", "v1")))
+    assert sim.regs.v_i8("v2")[0] == 100
+    sim.step(Instr("MLA_16B", dst=("v2",), src=("v0", "v1")))
+    assert sim.regs.v_i8("v2")[0] == 200 - 256  # -56: wrapped
+
+
+def test_smlal_4s_and_lane_forms():
+    sim = make_sim()
+    sim.regs.v_i16("v0")[:] = np.arange(8) * 100
+    sim.regs.v_i16("v1")[:] = 2
+    sim.step(Instr("SMLAL_4S", dst=("v2",), src=("v0", "v1")))
+    assert sim.regs.v_i32("v2").tolist() == [0, 200, 400, 600]
+    sim.step(Instr("SMLAL2_4S", dst=("v3",), src=("v0", "v1")))
+    assert sim.regs.v_i32("v3").tolist() == [800, 1000, 1200, 1400]
+    sim.regs.v_i16("v4")[:] = np.array([5, 7, 11, 13, 0, 0, 0, 0])
+    sim.step(Instr("SMLAL_4S_LANE", dst=("v5",), src=("v0", "v4"), lane=2))
+    assert sim.regs.v_i32("v5").tolist() == [0, 1100, 2200, 3300]
+
+
+def test_saddw_widen_paths():
+    sim = make_sim()
+    sim.regs.v_i8("v0")[:] = np.arange(-8, 8)
+    sim.regs.v_i16("v1")[:] = 1000
+    sim.step(Instr("SADDW_8H", dst=("v1",), src=("v1", "v0")))
+    assert sim.regs.v_i16("v1").tolist() == [1000 + v for v in range(-8, 0)]
+    sim.regs.v_i16("v2")[:] = np.arange(8)
+    sim.regs.v_i32("v3")[:] = 7
+    sim.step(Instr("SADDW_4S", dst=("v3",), src=("v3", "v2")))
+    assert sim.regs.v_i32("v3").tolist() == [7, 8, 9, 10]
+    sim.step(Instr("SADDW2_4S", dst=("v3",), src=("v3", "v2")))
+    assert sim.regs.v_i32("v3").tolist() == [11, 13, 15, 17]
+
+
+def test_sshll_sign_extends():
+    sim = make_sim()
+    sim.regs.v_i8("v0")[:] = np.arange(-8, 8)
+    sim.step(Instr("SSHLL_8H", dst=("v1",), src=("v0",)))
+    assert sim.regs.v_i16("v1").tolist() == list(range(-8, 0))
+    sim.step(Instr("SSHLL2_8H", dst=("v2",), src=("v0",)))
+    assert sim.regs.v_i16("v2").tolist() == list(range(0, 8))
+
+
+def test_cnt_and_uadalp():
+    sim = make_sim()
+    sim.regs.v_bytes("v0")[:] = 0b10110000
+    sim.regs.v_bytes("v1")[:] = 0b10010001
+    sim.step(Instr("AND_16B", dst=("v2",), src=("v0", "v1")))
+    assert sim.regs.v_bytes("v2")[0] == 0b10010000
+    sim.step(Instr("CNT_16B", dst=("v3",), src=("v2",)))
+    assert sim.regs.v_bytes("v3").tolist() == [2] * 16
+    sim.regs.v_u16("v4")[:] = 100
+    sim.step(Instr("UADALP_8H", dst=("v4",), src=("v3",)))
+    assert sim.regs.v_u16("v4").tolist() == [104] * 8
+
+
+def test_mov_v_x_roundtrip():
+    sim = make_sim()
+    sim.regs.v_i32("v0")[:] = np.array([-1, 2, -3, 4])
+    sim.step(Instr("MOV_V_TO_X", dst=("x0",), src=("v0",), lane=0))
+    sim.step(Instr("MOV_V_TO_X", dst=("x1",), src=("v0",), lane=1))
+    sim.step(Instr("MOV_X_TO_V", dst=("v1",), src=("x0",), lane=0))
+    sim.step(Instr("MOV_X_TO_V", dst=("v1",), src=("x1",), lane=1))
+    assert sim.regs.v_i32("v1").tolist() == [-1, 2, -3, 4]
+
+
+def test_scalar_ops():
+    sim = make_sim()
+    sim.step(Instr("MOV_X_IMM", dst=("x9",), imm=10))
+    sim.step(Instr("SUBS", dst=("x9",), src=("x9",), imm=3))
+    assert sim.regs.x_i64("x9") == 7
+    sim.step(Instr("ADD_X", dst=("x9",), src=("x9",), imm=5))
+    assert sim.regs.x_i64("x9") == 12
+
+
+def test_buffer_overrun_detected():
+    sim = make_sim(small=np.zeros(8, np.uint8))
+    with pytest.raises(SimulationError):
+        sim.step(Instr("LD1_16B", dst=("v0",), mem=MemRef("small", 0)))
+
+
+def test_unbound_buffer():
+    sim = make_sim()
+    with pytest.raises(SimulationError):
+        sim.step(Instr("LD1_16B", dst=("v0",), mem=MemRef("nope", 0)))
+
+
+def test_bad_buffer_dtype_rejected():
+    with pytest.raises(SimulationError):
+        ArmSimulator({"m": np.zeros(16, np.int32)})
+
+
+def test_instr_validation():
+    with pytest.raises(SimulationError):
+        Instr("NOT_AN_OP")
+    with pytest.raises(SimulationError):
+        Instr("SMLAL_8H", dst=("v99",), src=("v0", "v1"))
+    with pytest.raises(SimulationError):
+        Instr("LD1_16B", dst=("v0",))  # missing mem
+    with pytest.raises(SimulationError):
+        MemRef("b", -1)
+
+
+def test_instr_render():
+    i = Instr("SMLAL_8H", dst=("v10",), src=("v0", "v2"))
+    assert "SMLAL_8H" in i.render() and "v10" in i.render()

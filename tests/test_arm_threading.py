@@ -1,0 +1,54 @@
+"""Multi-core scaling model for ARM layer costs."""
+
+import pytest
+
+from repro.arm.conv_runner import time_arm_conv
+from repro.arm.threading import MAX_THREADS, scale_to_threads, thread_scaling_curve
+from repro.errors import ReproError
+from repro.types import ConvSpec
+
+MID = ConvSpec("mid", in_channels=128, out_channels=128, height=28, width=28,
+               kernel=(3, 3), padding=(1, 1))
+
+
+def test_single_thread_is_identity():
+    perf = time_arm_conv(MID, 4)
+    assert scale_to_threads(perf, 1) is perf
+
+
+def test_speedup_monotone_but_sublinear():
+    perf = time_arm_conv(MID, 4)
+    curve = thread_scaling_curve(perf)
+    speeds = [curve[t] for t in range(1, MAX_THREADS + 1)]
+    assert speeds[0] == pytest.approx(1.0)
+    assert speeds == sorted(speeds)  # more cores never hurt
+    for t in range(2, MAX_THREADS + 1):
+        assert curve[t] < t  # sublinear: shared memory system + sync
+
+
+def test_memory_term_does_not_scale():
+    perf = time_arm_conv(MID, 2)
+    scaled = scale_to_threads(perf, 4)
+    assert scaled.mem_cycles == perf.mem_cycles
+    assert scaled.kernel_cycles < perf.kernel_cycles
+    assert scaled.overhead_cycles > perf.overhead_cycles  # coordination
+
+
+def test_memory_bound_layers_scale_worse():
+    """A layer whose time is mostly memory saturates earlier."""
+    compute_heavy = ConvSpec("c", in_channels=512, out_channels=512,
+                             height=14, width=14, kernel=(3, 3),
+                             padding=(1, 1))
+    mem_heavy = ConvSpec("m", in_channels=64, out_channels=64, height=112,
+                         width=112, kernel=(1, 1))
+    s_c = thread_scaling_curve(time_arm_conv(compute_heavy, 8))[4]
+    s_m = thread_scaling_curve(time_arm_conv(mem_heavy, 8))[4]
+    assert s_c > s_m
+
+
+def test_thread_bounds():
+    perf = time_arm_conv(MID, 4)
+    with pytest.raises(ReproError):
+        scale_to_threads(perf, 0)
+    with pytest.raises(ReproError):
+        scale_to_threads(perf, 5)

@@ -1,0 +1,58 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig7" in out and "fig17" in out and "tab1" in out
+
+
+def test_chains(capsys):
+    assert main(["chains"]) == 0
+    out = capsys.readouterr().out
+    assert "511 : 1" in out and "31 : 1" in out
+
+
+def test_reproduce_tab1(capsys):
+    assert main(["reproduce", "tab1"]) == 0
+    out = capsys.readouterr().out
+    assert "Cortex-A53" in out and "TU102" in out
+
+
+def test_reproduce_fig13(capsys):
+    assert main(["reproduce", "fig13"]) == 0
+    out = capsys.readouterr().out
+    assert "im2col" in out and "geomean" in out
+
+
+def test_reproduce_unknown(capsys):
+    assert main(["reproduce", "fig99"]) == 2
+
+
+def test_layers(capsys):
+    assert main(["layers", "resnet50"]) == 0
+    out = capsys.readouterr().out
+    assert "conv1:" in out and "conv19:" in out
+
+
+def test_kernel_summary_and_listing(capsys):
+    assert main(["kernel", "smlal", "4", "8", "--listing"]) == 0
+    out = capsys.readouterr().out
+    assert "SMLAL_8H" in out
+    assert "MACs/cycle" in out
+    assert "LD4R_B" in out  # listing shows the load-replicate
+
+
+def test_kernel_sdot(capsys):
+    assert main(["kernel", "sdot", "8", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "SDOT_4S_LANE" in out
+
+
+def test_bad_command():
+    with pytest.raises(SystemExit):
+        main(["not-a-command"])

@@ -1,0 +1,144 @@
+"""All convolution algorithms agree bit-for-bit with the direct reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv import (
+    conv2d,
+    conv2d_bitserial,
+    conv2d_gemm,
+    conv2d_ref,
+    conv2d_winograd,
+    get_algorithm,
+)
+from repro.errors import ReproError, ShapeError
+from repro.types import ConvSpec, Layout
+
+
+def _random_case(rng, spec, bits):
+    half = 1 << (bits - 1)
+    x = rng.integers(-half, half, spec.input_shape(Layout.NCHW)).astype(np.int8)
+    w = rng.integers(-half, half, spec.weight_shape(Layout.NCHW)).astype(np.int8)
+    return x, w
+
+
+@st.composite
+def conv_cases(draw):
+    cin = draw(st.integers(1, 6))
+    cout = draw(st.integers(1, 8))
+    h = draw(st.integers(3, 12))
+    wd = draw(st.integers(3, 12))
+    kh = draw(st.sampled_from([1, 3, 5]))
+    kw = draw(st.sampled_from([1, 3]))
+    sh = draw(st.integers(1, 2))
+    ph = draw(st.integers(0, 2))
+    batch = draw(st.integers(1, 2))
+    # keep outputs positive
+    if h + 2 * ph < kh or wd + 2 * ph < kw:
+        ph = max(kh, kw)
+    return ConvSpec("h", in_channels=cin, out_channels=cout, height=h, width=wd,
+                    kernel=(kh, kw), stride=(sh, sh), padding=(ph, ph), batch=batch)
+
+
+@given(conv_cases(), st.integers(0, 2**32 - 1), st.integers(2, 8))
+@settings(max_examples=30, deadline=None)
+def test_gemm_matches_ref(spec, seed, bits):
+    rng = np.random.default_rng(seed)
+    x, w = _random_case(rng, spec, bits)
+    assert np.array_equal(conv2d_gemm(spec, x, w), conv2d_ref(spec, x, w))
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(2, 8),
+       st.integers(1, 5), st.integers(1, 6), st.integers(4, 11), st.integers(0, 1))
+@settings(max_examples=30, deadline=None)
+def test_winograd_exact_matches_ref(seed, bits, cin, cout, size, pad):
+    spec = ConvSpec("h", in_channels=cin, out_channels=cout, height=size,
+                    width=size + 1, kernel=(3, 3), stride=(1, 1),
+                    padding=(pad, pad))
+    rng = np.random.default_rng(seed)
+    x, w = _random_case(rng, spec, bits)
+    assert np.array_equal(conv2d_winograd(spec, x, w, mode="exact"),
+                          conv2d_ref(spec, x, w))
+
+
+@given(st.integers(0, 2**32 - 1), st.sampled_from([(2, 2), (2, 3), (3, 2), (3, 3)]))
+@settings(max_examples=20, deadline=None)
+def test_bitserial_matches_ref(seed, bits_pair):
+    ba, bw = bits_pair
+    spec = ConvSpec("h", in_channels=3, out_channels=4, height=7, width=8,
+                    kernel=(3, 3), padding=(1, 1))
+    rng = np.random.default_rng(seed)
+    xa = rng.integers(-(1 << (ba - 1)), 1 << (ba - 1),
+                      spec.input_shape(Layout.NCHW)).astype(np.int8)
+    ww = rng.integers(-(1 << (bw - 1)), 1 << (bw - 1),
+                      spec.weight_shape(Layout.NCHW)).astype(np.int8)
+    assert np.array_equal(
+        conv2d_bitserial(spec, xa, ww, bits_a=ba, bits_w=bw),
+        conv2d_ref(spec, xa, ww),
+    )
+
+
+def test_bias_applied_everywhere():
+    rng = np.random.default_rng(0)
+    spec = ConvSpec("b", in_channels=3, out_channels=5, height=6, width=6,
+                    kernel=(3, 3), padding=(1, 1))
+    x, w = _random_case(rng, spec, 4)
+    bias = rng.integers(-100, 100, 5)
+    ref = conv2d_ref(spec, x, w, bias=bias)
+    assert np.array_equal(conv2d_gemm(spec, x, w, bias=bias), ref)
+    assert np.array_equal(conv2d_winograd(spec, x, w, bias=bias), ref)
+    assert np.array_equal(
+        conv2d_bitserial(spec, x, w, bits_a=4, bits_w=4, bias=bias), ref
+    )
+
+
+def test_nhwc_matches_nchw():
+    rng = np.random.default_rng(1)
+    spec = ConvSpec("l", in_channels=4, out_channels=6, height=9, width=7,
+                    kernel=(3, 3), stride=(2, 2), padding=(1, 1), batch=2)
+    x, w = _random_case(rng, spec, 6)
+    ref = conv2d_ref(spec, x, w, layout=Layout.NCHW)
+    nhwc = conv2d_ref(spec, np.transpose(x, (0, 2, 3, 1)), w, layout=Layout.NHWC)
+    assert np.array_equal(np.transpose(nhwc, (0, 3, 1, 2)), ref)
+
+
+def test_registry_dispatch():
+    rng = np.random.default_rng(2)
+    spec = ConvSpec("r", in_channels=2, out_channels=3, height=5, width=5,
+                    kernel=(3, 3), padding=(1, 1))
+    x, w = _random_case(rng, spec, 3)
+    ref = conv2d(spec, x, w, algorithm="direct")
+    assert np.array_equal(conv2d(spec, x, w, algorithm="gemm"), ref)
+    assert np.array_equal(conv2d(spec, x, w, algorithm="winograd"), ref)
+    with pytest.raises(ReproError):
+        get_algorithm("does-not-exist")
+
+
+def test_ref_rejects_float_input():
+    spec = ConvSpec("f", in_channels=1, out_channels=1, height=3, width=3)
+    with pytest.raises(ShapeError):
+        conv2d_ref(spec, np.zeros(spec.input_shape(Layout.NCHW)),
+                   np.zeros(spec.weight_shape(Layout.NCHW), dtype=np.int8))
+
+
+def test_ref_rejects_bad_shapes():
+    spec = ConvSpec("f", in_channels=2, out_channels=2, height=4, width=4)
+    x = np.zeros((1, 2, 4, 4), dtype=np.int8)
+    w_bad = np.zeros((2, 2, 5, 5), dtype=np.int8)
+    with pytest.raises(ShapeError):
+        conv2d_ref(spec, x, w_bad)
+
+
+def test_grouped_convolution():
+    spec = ConvSpec("g", in_channels=4, out_channels=6, height=5, width=5,
+                    kernel=(3, 3), padding=(1, 1), groups=2)
+    rng = np.random.default_rng(3)
+    x = rng.integers(-4, 4, spec.input_shape(Layout.NCHW)).astype(np.int8)
+    w = rng.integers(-4, 4, spec.weight_shape(Layout.NCHW)).astype(np.int8)
+    out = conv2d_ref(spec, x, w)
+    # group 0 outputs depend only on group 0 inputs
+    x2 = x.copy()
+    x2[:, 2:] = 0  # zero group-1 channels
+    out2 = conv2d_ref(spec, x2, w)
+    assert np.array_equal(out[:, :3], out2[:, :3])

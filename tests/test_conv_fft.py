@@ -1,0 +1,79 @@
+"""FFT-based convolution: exact-after-rounding on the supported range."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv import conv2d, conv2d_ref
+from repro.conv.fft import conv2d_fft, fft_exactness_margin
+from repro.errors import ShapeError
+from repro.types import ConvSpec, Layout
+
+
+@given(st.integers(0, 2**32 - 1), st.sampled_from([1, 3, 5, 7]),
+       st.integers(1, 2), st.integers(0, 3), st.integers(2, 8))
+@settings(max_examples=25, deadline=None)
+def test_fft_matches_ref(seed, k, stride, pad, bits):
+    spec = ConvSpec("f", in_channels=4, out_channels=6, height=11, width=9,
+                    kernel=(k, k), stride=(stride, stride), padding=(pad, pad))
+    rng = np.random.default_rng(seed)
+    half = 1 << (bits - 1)
+    x = rng.integers(-half, half, spec.input_shape(Layout.NCHW)).astype(np.int8)
+    w = rng.integers(-half, half, spec.weight_shape(Layout.NCHW)).astype(np.int8)
+    assert np.array_equal(conv2d_fft(spec, x, w), conv2d_ref(spec, x, w))
+
+
+def test_fft_with_bias_and_batch():
+    spec = ConvSpec("f", in_channels=3, out_channels=5, height=8, width=8,
+                    kernel=(3, 3), padding=(1, 1), batch=3)
+    rng = np.random.default_rng(0)
+    x = rng.integers(-8, 8, spec.input_shape(Layout.NCHW)).astype(np.int8)
+    w = rng.integers(-8, 8, spec.weight_shape(Layout.NCHW)).astype(np.int8)
+    bias = rng.integers(-100, 100, 5)
+    assert np.array_equal(conv2d_fft(spec, x, w, bias=bias),
+                          conv2d_ref(spec, x, w, bias=bias))
+
+
+def test_registry_exposes_fft():
+    spec = ConvSpec("f", in_channels=2, out_channels=2, height=6, width=6,
+                    kernel=(3, 3), padding=(1, 1))
+    rng = np.random.default_rng(1)
+    x = rng.integers(-4, 4, spec.input_shape(Layout.NCHW)).astype(np.int8)
+    w = rng.integers(-4, 4, spec.weight_shape(Layout.NCHW)).astype(np.int8)
+    assert np.array_equal(conv2d(spec, x, w, algorithm="fft"),
+                          conv2d_ref(spec, x, w))
+
+
+def test_exactness_margin_grows_with_range_and_k():
+    small = ConvSpec("s", in_channels=8, out_channels=8, height=8, width=8,
+                     kernel=(3, 3), padding=(1, 1))
+    big = ConvSpec("b", in_channels=2048, out_channels=8, height=8, width=8,
+                   kernel=(3, 3), padding=(1, 1))
+    assert fft_exactness_margin(big, 127, 127) > fft_exactness_margin(small, 127, 127)
+    assert (fft_exactness_margin(small, 127, 127)
+            > fft_exactness_margin(small, 7, 7))
+    # realistic 8-bit layers remain exact
+    assert fft_exactness_margin(small, 127, 127) < 0.5
+
+
+def test_guard_refuses_when_margin_gone():
+    # int8 ranges never endanger exactness (double carries them easily);
+    # wide-int data at extreme K does — the guard must refuse there
+    spec = ConvSpec("x", in_channels=30000, out_channels=1, height=3, width=3,
+                    kernel=(3, 3), padding=(1, 1))
+    assert fft_exactness_margin(spec, 30000, 30000) >= 0.5
+    x = np.full(spec.input_shape(Layout.NCHW), 30000, dtype=np.int32)
+    w = np.full(spec.weight_shape(Layout.NCHW), 30000, dtype=np.int32)
+    with pytest.raises(ShapeError):
+        conv2d_fft(spec, x, w, check_exact=True)
+
+
+def test_fft_rejects_nhwc_and_floats():
+    spec = ConvSpec("f", in_channels=2, out_channels=2, height=4, width=4,
+                    kernel=(3, 3), padding=(1, 1))
+    x = np.zeros(spec.input_shape(Layout.NCHW), dtype=np.int8)
+    w = np.zeros(spec.weight_shape(Layout.NCHW), dtype=np.int8)
+    with pytest.raises(ShapeError):
+        conv2d_fft(spec, x, w, layout=Layout.NHWC)
+    with pytest.raises(ShapeError):
+        conv2d_fft(spec, x.astype(np.float64), w)

@@ -1,0 +1,55 @@
+"""The figure-regeneration API (shapes/labels; full assertions live in
+benchmarks/)."""
+
+import pytest
+
+from repro.figures import (
+    ARM_BITS,
+    FigureData,
+    fig7_arm_speedups,
+    fig10_gpu_speedups,
+    fig13_space_overhead,
+    tab1_configurations,
+)
+
+
+@pytest.fixture(scope="module")
+def fig7_dense():
+    # DenseNet's 16-layer table keeps this module quick
+    return fig7_arm_speedups("densenet121")
+
+
+def test_figuredata_structure(fig7_dense):
+    data = fig7_dense
+    assert len(data.labels) == 16
+    assert len(data.series) == len(ARM_BITS)
+    for s in data.series:
+        assert len(s.values) == len(data.labels)
+    assert len(data.baseline_times) == len(data.labels)
+    assert all(t > 0 for t in data.baseline_times)
+
+
+def test_series_lookup(fig7_dense):
+    s = fig7_dense.series_by_name("2-bit")
+    assert s.name == "2-bit"
+    with pytest.raises(KeyError):
+        fig7_dense.series_by_name("9-bit")
+
+
+def test_fig10_series_names():
+    data = fig10_gpu_speedups("densenet121")
+    names = {s.name for s in data.series}
+    assert names == {"ours 8-bit", "ours 4-bit", "TensorRT 8-bit"}
+    assert data.figure.startswith("fig10")
+
+
+def test_fig13_label_axis_matches_model():
+    data = fig13_space_overhead("resnet50")
+    assert len(data.labels) == 19
+    assert data.labels[0] == "conv1"
+
+
+def test_tab1_shape():
+    t = tab1_configurations()
+    assert t["ARM CPU"]["clock_hz"] == pytest.approx(1.2e9)
+    assert t["NVIDIA GPU"]["sm_count"] == 68

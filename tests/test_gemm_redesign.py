@@ -1,0 +1,83 @@
+"""Re-designed GEMM (Fig. 1 / Eq. 1-4): correctness and instruction counts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gemm import (
+    cal_ld_improvement,
+    gemm_redesigned,
+    gemm_traditional,
+    plan_blocking,
+    redesigned_counts,
+    traditional_counts,
+)
+from repro.gemm.traditional import AccessCounter
+from repro.types import GemmShape
+
+
+@given(st.integers(1, 20), st.integers(1, 24), st.integers(1, 20),
+       st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_both_walkers_compute_gemm(m, k, n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-50, 50, (m, k)).astype(np.int32)
+    b = rng.integers(-50, 50, (k, n)).astype(np.int32)
+    ref = a.astype(np.int64) @ b.astype(np.int64)
+    assert np.array_equal(gemm_traditional(a, b), ref)
+    assert np.array_equal(gemm_redesigned(a, b), ref)
+    assert np.array_equal(gemm_redesigned(a, b, n_a=4, n_b=2), ref)
+
+
+def test_eq1_eq2_traditional_counts():
+    shape = GemmShape(m=64, k=256, n=128)
+    c = traditional_counts(shape, theta1=16, beta1=2, beta2=1, delta=4)
+    work = 64 * 256 * 128
+    assert c.loads == 2 * work // 16  # Eq. 1
+    assert c.arithmetic == work // 16 + (64 * 128 // 16) * 4  # Eq. 2
+
+
+def test_eq3_eq4_redesigned_counts():
+    shape = GemmShape(m=64, k=256, n=128)
+    c = redesigned_counts(shape, theta1=16, theta2=4, beta1=2, beta2=1)
+    work = 64 * 256 * 128
+    assert c.loads == 2 * work // (4 * 16)  # Eq. 3
+    assert c.arithmetic == work // 16  # Eq. 4
+
+
+def test_cal_per_ld_improvement_is_theta2():
+    """The paper's conclusion: CAL/LD improves ~4x with LD4R."""
+    shape = GemmShape(m=128, k=1152, n=784)
+    imp = cal_ld_improvement(shape)
+    assert imp == pytest.approx(4.0, rel=0.05)
+
+
+def test_measured_counters_track_analytic_model():
+    rng = np.random.default_rng(0)
+    m, k, n = 32, 64, 16
+    a = rng.integers(-5, 5, (m, k)).astype(np.int32)
+    b = rng.integers(-5, 5, (k, n)).astype(np.int32)
+
+    ct = AccessCounter(simd_width=16)
+    gemm_traditional(a, b, counter=ct)
+    cr = AccessCounter(simd_width=16)
+    gemm_redesigned(a, b, n_a=16, n_b=4, counter=cr)
+
+    # the measured CAL/LD gap matches the analytic ~theta2 improvement
+    measured = (cr.macs_instr / cr.loads) / (ct.macs_instr / ct.loads)
+    assert measured == pytest.approx(4.0, rel=0.35)
+    # and the walker's loads shrink by roughly theta2
+    assert ct.loads / cr.loads > 2.5
+
+
+def test_blocking_plan():
+    shape = GemmShape(m=100, k=1000, n=50)
+    plan = plan_blocking(shape)
+    assert plan.m_padded == 112
+    assert plan.n_padded == 52
+    assert plan.m_tiles == 7
+    assert plan.n_tiles == 13
+    assert plan.kc <= shape.k
+    assert plan.pad_waste > 0
+    aligned = plan_blocking(GemmShape(m=32, k=64, n=8))
+    assert aligned.pad_waste == pytest.approx(0.0)

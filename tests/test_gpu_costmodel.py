@@ -1,0 +1,141 @@
+"""GPU cost model: the paper's optimization knobs move time the right way."""
+
+import pytest
+
+from repro.errors import TilingError
+from repro.gpu.autotune import autotune, autotune_conv
+from repro.gpu.baselines import cudnn_dp4a_time, tensorrt_time
+from repro.gpu.device import TU102
+from repro.gpu.fusion import FusionMode, fusion_speedups, pipeline_time
+from repro.gpu.pipelinemodel import conv_gemm_shape, conv_time, kernel_time
+from repro.gpu.tiling import TilingParams, default_tiling
+from repro.types import ConvSpec, GemmShape
+
+MID = ConvSpec("mid", in_channels=128, out_channels=128, height=28, width=28,
+               kernel=(3, 3), padding=(1, 1))
+GEMM = GemmShape(m=784, k=1152, n=128)
+
+
+def test_breakdown_positive_and_consistent():
+    perf = kernel_time(GEMM, 8)
+    assert perf.compute_cycles > 0
+    assert perf.dram_cycles > 0
+    assert perf.smem_cycles > 0
+    assert perf.total_cycles >= max(perf.compute_cycles, perf.dram_cycles)
+    assert perf.bound in ("compute", "dram", "smem")
+    assert perf.microseconds() > 0
+
+
+def test_int4_faster_than_int8():
+    """Sec. 5.3: '4-bit convolution kernels outperform 8-bit ... 1.18x and
+    1.32x on average' — double mma K and half the bytes."""
+    t8 = autotune(GEMM, 8).best_cycles
+    t4 = autotune(GEMM, 4).best_cycles
+    assert 1.05 < t8 / t4 < 2.0
+
+
+def test_tensor_core_beats_dp4a():
+    tc = kernel_time(GEMM, 8, tensor_core=True)
+    dp = kernel_time(GEMM, 8, tensor_core=False)
+    assert dp.compute_cycles > 3 * tc.compute_cycles
+
+
+def test_double_buffer_overlap_helps():
+    t = TilingParams(64, 64, 32, 16, 2, 2)
+    on = kernel_time(GEMM, 8, t, double_buffer=True)
+    off = kernel_time(GEMM, 8, t, double_buffer=False)
+    assert on.total_cycles < off.total_cycles
+
+
+def test_smem_reordering_helps_when_smem_bound():
+    t = TilingParams(64, 64, 32, 16, 2, 2)
+    on = kernel_time(GEMM, 8, t, reorder_smem=True)
+    off = kernel_time(GEMM, 8, t, reorder_smem=False)
+    # the non-reordered path is LDS-instruction bound (4x LDS.32 vs 1x
+    # LDS.128, Fig. 5): several-fold fewer shared-memory bytes per cycle
+    assert off.smem_cycles > 4 * on.smem_cycles
+    assert off.total_cycles >= on.total_cycles
+
+
+def test_uncoalesced_access_hurts():
+    on = kernel_time(GEMM, 8, coalesced=True)
+    off = kernel_time(GEMM, 8, coalesced=False)
+    assert off.dram_cycles == pytest.approx(4 * on.dram_cycles)
+
+
+def test_in_place_epilogue_saves_traffic():
+    inp = kernel_time(GEMM, 8, in_place_epilogue=True)
+    outp = kernel_time(GEMM, 8, in_place_epilogue=False)
+    assert outp.dram_cycles > inp.dram_cycles
+
+
+def test_split_k_fills_small_grids():
+    tiny = GemmShape(m=49, k=4608, n=512)
+    t = TilingParams(64, 64, 64, 32, 2, 2)
+    plain = kernel_time(tiny, 8, t)
+    split = kernel_time(tiny, 8, t, split_k=8)
+    assert split.blocks == plain.blocks * 8
+    assert split.compute_cycles < plain.compute_cycles
+    with pytest.raises(TilingError):
+        kernel_time(tiny, 8, t, split_k=0)
+
+
+def test_autotune_beats_default():
+    """Fig. 11: profile runs find better tilings than defaults."""
+    for bits in (4, 8):
+        best = autotune_conv(MID, bits)
+        default = conv_time(MID, bits, default_tiling(bits))
+        assert best.best_cycles <= default.total_cycles
+        assert best.candidates > 50
+
+
+def test_autotune_cached():
+    r1 = autotune(GEMM, 8)
+    r2 = autotune(GEMM, 8)
+    assert r1 is r2  # per-shape caching (Sec. 5.1)
+
+
+def test_batch1_speedups_vs_cudnn_in_band():
+    """Fig. 10 shape: ours-4bit > ours-8bit >> cuDNN dp4a at batch 1."""
+    base = cudnn_dp4a_time(MID).total_cycles
+    s8 = base / autotune_conv(MID, 8).best_cycles
+    s4 = base / autotune_conv(MID, 4).best_cycles
+    assert s4 > s8 > 2.0
+
+
+def test_batch16_speedups_smaller_than_batch1():
+    """Sec. 5.3: 'our implementation achieves better speedup with small
+    batch size'."""
+    mid16 = MID.with_batch(16)
+    s1 = cudnn_dp4a_time(MID).total_cycles / autotune_conv(MID, 8).best_cycles
+    s16 = (cudnn_dp4a_time(mid16).total_cycles
+           / autotune_conv(mid16, 8).best_cycles)
+    assert s16 < s1
+
+
+def test_tensorrt_closer_than_cudnn():
+    """TRT is the strong baseline: much closer to ours than cuDNN."""
+    trt = tensorrt_time(MID).total_cycles
+    cud = cudnn_dp4a_time(MID).total_cycles
+    ours = autotune_conv(MID, 8).best_cycles
+    assert cud / trt > 1.5
+    assert 0.8 < trt / ours < 4.0
+
+
+def test_fusion_speedups_in_band():
+    """Fig. 12: conv+dequant ~1.18x, conv+ReLU ~1.51x (ReLU fusion wins
+    more because it removes more stages)."""
+    sp = fusion_speedups(MID)
+    assert 1.02 < sp["conv+dequant"] < 1.6
+    assert sp["conv+relu"] > sp["conv+dequant"]
+    assert 1.1 < sp["conv+relu"] < 2.5
+
+
+def test_pipeline_time_modes():
+    base = pipeline_time(MID, 8, FusionMode.NONE, with_relu=True)
+    fused = pipeline_time(MID, 8, FusionMode.CONV_RELU)
+    assert base.kernel_launches == 4
+    assert fused.kernel_launches == 1
+    assert fused.total_cycles < base.total_cycles
+    dq = pipeline_time(MID, 8, FusionMode.CONV_DEQUANT)
+    assert dq.kernel_launches == 1

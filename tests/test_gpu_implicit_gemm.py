@@ -1,0 +1,137 @@
+"""Implicit-precomp GEMM convolution: exactness + offset buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv import conv2d_ref
+from repro.errors import ShapeError
+from repro.gpu.implicit_gemm import conv2d_implicit_gemm
+from repro.gpu.precompute import build_offsets
+from repro.gpu.tiling import TilingParams
+from repro.types import ConvSpec, Layout
+
+
+def small_tiling(bits):
+    kk = 32 if bits == 4 else 16
+    return TilingParams(16, 16, kk, kk, 1, 1)
+
+
+def rand_case(rng, spec, bits):
+    half = 1 << (bits - 1)
+    x = rng.integers(-half, half, spec.input_shape(Layout.NHWC)).astype(np.int8)
+    w = rng.integers(-half, half, spec.weight_shape(Layout.NCHW)).astype(np.int8)
+    return x, w
+
+
+@pytest.mark.parametrize("bits", [4, 8])
+def test_matches_reference(bits):
+    rng = np.random.default_rng(bits)
+    spec = ConvSpec("g", in_channels=6, out_channels=10, height=9, width=7,
+                    kernel=(3, 3), stride=(1, 1), padding=(1, 1), batch=2)
+    x, w = rand_case(rng, spec, bits)
+    out = conv2d_implicit_gemm(spec, x, w, bits=bits, tiling=small_tiling(bits))
+    assert np.array_equal(out.data, conv2d_ref(spec, x, w, layout=Layout.NHWC))
+
+
+@given(st.integers(0, 2**32 - 1), st.sampled_from([4, 8]),
+       st.integers(1, 2), st.integers(0, 2))
+@settings(max_examples=15, deadline=None)
+def test_strided_padded_cases(seed, bits, stride, pad):
+    rng = np.random.default_rng(seed)
+    spec = ConvSpec("h", in_channels=3, out_channels=5, height=8, width=9,
+                    kernel=(3, 3), stride=(stride, stride), padding=(pad, pad))
+    x, w = rand_case(rng, spec, bits)
+    out = conv2d_implicit_gemm(spec, x, w, bits=bits, tiling=small_tiling(bits))
+    assert np.array_equal(out.data, conv2d_ref(spec, x, w, layout=Layout.NHWC))
+
+
+def test_default_tiling_large_blocks_still_exact():
+    rng = np.random.default_rng(1)
+    spec = ConvSpec("g", in_channels=4, out_channels=6, height=6, width=6,
+                    kernel=(1, 1))
+    x, w = rand_case(rng, spec, 8)
+    out = conv2d_implicit_gemm(spec, x, w, bits=8)  # 128x128 default tile
+    assert np.array_equal(out.data, conv2d_ref(spec, x, w, layout=Layout.NHWC))
+    assert out.blocks == 1
+
+
+def test_int4_nibble_roundtrip_path():
+    rng = np.random.default_rng(2)
+    spec = ConvSpec("g", in_channels=8, out_channels=8, height=5, width=5,
+                    kernel=(3, 3), padding=(1, 1))
+    x, w = rand_case(rng, spec, 4)
+    packed = conv2d_implicit_gemm(spec, x, w, bits=4, tiling=small_tiling(4),
+                                  pack_nibbles=True)
+    plain = conv2d_implicit_gemm(spec, x, w, bits=4, tiling=small_tiling(4),
+                                 pack_nibbles=False)
+    assert np.array_equal(packed.data, plain.data)
+
+
+def test_epilogues():
+    rng = np.random.default_rng(3)
+    spec = ConvSpec("g", in_channels=4, out_channels=6, height=6, width=6,
+                    kernel=(3, 3), padding=(1, 1))
+    x, w = rand_case(rng, spec, 8)
+    bias = rng.integers(-50, 50, spec.out_channels).astype(np.int32)
+    ref = conv2d_ref(spec, x, w, layout=Layout.NHWC, bias=bias)
+
+    raw = conv2d_implicit_gemm(spec, x, w, bits=8, tiling=small_tiling(8),
+                               epilogue="none", bias=bias)
+    assert np.array_equal(raw.data, ref)
+
+    dq = conv2d_implicit_gemm(spec, x, w, bits=8, tiling=small_tiling(8),
+                              epilogue="dequant", bias=bias, dequant_scale=0.25)
+    assert np.allclose(dq.data, ref * 0.25)
+
+    relu = conv2d_implicit_gemm(spec, x, w, bits=8, tiling=small_tiling(8),
+                                epilogue="requant_relu", bias=bias)
+    assert relu.data.dtype == np.int8
+    assert relu.data.min() >= 0
+    # where the requantized value would be positive, relu leaves it alone
+    rq = conv2d_implicit_gemm(spec, x, w, bits=8, tiling=small_tiling(8),
+                              epilogue="requant", bias=bias)
+    pos = rq.data > 0
+    assert np.array_equal(relu.data[pos], rq.data[pos])
+    assert np.all(relu.data[~pos] == 0)
+
+
+def test_input_validation():
+    spec = ConvSpec("g", in_channels=4, out_channels=4, height=6, width=6,
+                    kernel=(3, 3), padding=(1, 1))
+    x = np.zeros(spec.input_shape(Layout.NHWC), dtype=np.int8)
+    w = np.zeros(spec.weight_shape(Layout.NCHW), dtype=np.int8)
+    with pytest.raises(ShapeError):
+        conv2d_implicit_gemm(spec, x, w, epilogue="bogus")
+    with pytest.raises(ShapeError):
+        conv2d_implicit_gemm(spec, np.zeros((1, 4, 6, 6), np.int8), w)
+    xf = np.full(spec.input_shape(Layout.NHWC), 10, dtype=np.int8)
+    with pytest.raises(ShapeError):
+        conv2d_implicit_gemm(spec, xf, w, bits=4)  # out of 4-bit range
+
+
+def test_offset_buffer_size_in_paper_band():
+    """Sec. 5.4: the precomputed buffer occupies 0.5 KB ~ 50 KB."""
+    from repro.models import resnet50_conv_layers
+
+    for spec in resnet50_conv_layers():
+        nbytes = build_offsets(spec).nbytes
+        assert nbytes <= 200 * 1024  # offsets stay tiny for every layer
+    big = build_offsets(ConvSpec("b", in_channels=512, out_channels=512,
+                                 height=14, width=14, kernel=(3, 3),
+                                 padding=(1, 1)))
+    assert big.nbytes >= 512  # and are not trivially empty
+
+
+def test_offset_gather_equals_im2col():
+    from repro.conv.im2col import im2col_nhwc
+
+    rng = np.random.default_rng(4)
+    spec = ConvSpec("g", in_channels=3, out_channels=2, height=7, width=6,
+                    kernel=(3, 3), stride=(2, 2), padding=(1, 1))
+    x = rng.integers(-8, 8, spec.input_shape(Layout.NHWC)).astype(np.int8)
+    offs = build_offsets(spec)
+    pixels = np.arange(spec.out_spatial)
+    ks = np.arange(spec.gemm_k)
+    gathered = offs.gather(x[0], pixels, ks)
+    assert np.array_equal(gathered, im2col_nhwc(spec, x))

@@ -1,0 +1,60 @@
+"""Coalescing and shared-memory reordering analyzers (Sec. 4.3, Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.gpu.memory import (
+    coalesced_transactions,
+    fig5_reordering_example,
+    lds_instructions,
+    strided_warp_addresses,
+    vectorized_warp_addresses,
+)
+
+
+def test_vectorized_access_is_minimal():
+    """32 threads x 16 contiguous bytes = 512 bytes = 16 sectors exactly."""
+    addrs = vectorized_warp_addresses(0, 16)
+    assert coalesced_transactions(addrs, 16) == 16
+
+
+def test_strided_access_wastes_sectors():
+    # one byte per thread, 128-byte stride: every thread its own sector
+    addrs = strided_warp_addresses(0, 128)
+    assert coalesced_transactions(addrs, 1) == 32
+    # contiguous single bytes: whole warp fits one sector
+    assert coalesced_transactions(vectorized_warp_addresses(0, 1), 1) == 1
+
+
+def test_unaligned_access_costs_extra():
+    aligned = coalesced_transactions(vectorized_warp_addresses(0, 16), 16)
+    unaligned = coalesced_transactions(vectorized_warp_addresses(8, 16), 16)
+    assert unaligned >= aligned
+
+
+def test_transaction_validation():
+    with pytest.raises(ShapeError):
+        coalesced_transactions(np.zeros(16, dtype=np.int64), 4)
+    with pytest.raises(ShapeError):
+        coalesced_transactions(np.zeros(32, dtype=np.int64), 0)
+
+
+def test_fig5_quarter_reduction():
+    """'the number of access instructions is reduced to one-quarter'."""
+    before, after = fig5_reordering_example()
+    assert before.lds_instructions == 4
+    assert before.lds_width_bytes == 4
+    assert after.lds_instructions == 1
+    assert after.lds_width_bytes == 16
+    assert after.lds_instructions * 4 == before.lds_instructions
+
+
+def test_lds_instruction_counts_scale():
+    r = lds_instructions(64, reordered=True)
+    assert r.lds_instructions == 4
+    u = lds_instructions(64, reordered=False)
+    assert u.lds_instructions == 16
+    assert r.instructions_ratio_vs_unordered == pytest.approx(0.25)
+    with pytest.raises(ShapeError):
+        lds_instructions(0, reordered=True)

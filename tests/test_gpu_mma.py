@@ -1,0 +1,87 @@
+"""Exact mma/dp4a semantics and int4 packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.gpu.mma import (
+    dp4a,
+    mma_m8n8k16_int8,
+    mma_m8n8k32_int4,
+    mma_shape,
+    pack_int4,
+    unpack_int4,
+)
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=40)
+def test_mma_int8_matches_matmul(seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-128, 128, (8, 16)).astype(np.int8)
+    b = rng.integers(-128, 128, (16, 8)).astype(np.int8)
+    c = rng.integers(-1000, 1000, (8, 8)).astype(np.int32)
+    d = mma_m8n8k16_int8(a, b, c)
+    assert d.dtype == np.int32
+    assert np.array_equal(d, a.astype(np.int64) @ b.astype(np.int64) + c)
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=40)
+def test_mma_int4_matches_matmul(seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-8, 8, (8, 32)).astype(np.int8)
+    b = rng.integers(-8, 8, (32, 8)).astype(np.int8)
+    d = mma_m8n8k32_int4(a, b)
+    assert np.array_equal(d, a.astype(np.int64) @ b.astype(np.int64))
+
+
+def test_mma_shape_validation():
+    with pytest.raises(ShapeError):
+        mma_m8n8k16_int8(np.zeros((8, 8), np.int8), np.zeros((16, 8), np.int8))
+    with pytest.raises(ShapeError):
+        mma_m8n8k32_int4(np.full((8, 32), 8, np.int8), np.zeros((32, 8), np.int8))
+    with pytest.raises(ShapeError):
+        mma_m8n8k16_int8(np.zeros((8, 16), np.float64), np.zeros((16, 8), np.int8))
+    with pytest.raises(ShapeError):
+        mma_m8n8k16_int8(np.zeros((8, 16), np.int8), np.zeros((16, 8), np.int8),
+                         c=np.zeros((4, 4), np.int32))
+
+
+def test_mma_shapes():
+    assert mma_shape(8) == (8, 8, 16)
+    assert mma_shape(4) == (8, 8, 32)
+    with pytest.raises(ShapeError):
+        mma_shape(2)
+
+
+def test_dp4a():
+    a = np.array([1, 2, 3, 4], dtype=np.int8)
+    b = np.array([5, 6, 7, 8], dtype=np.int8)
+    assert int(dp4a(a, b, 10)) == 5 + 12 + 21 + 32 + 10
+    # vectorized over leading dims
+    av = np.tile(a, (3, 1))
+    bv = np.tile(b, (3, 1))
+    assert dp4a(av, bv).tolist() == [70, 70, 70]
+    with pytest.raises(ShapeError):
+        dp4a(np.zeros(3, np.int8), np.zeros(4, np.int8))
+    with pytest.raises(ShapeError):
+        dp4a(np.full(4, 200), np.zeros(4, np.int8))
+
+
+@given(st.lists(st.integers(-8, 7), min_size=2, max_size=64).filter(
+    lambda v: len(v) % 2 == 0))
+@settings(max_examples=60)
+def test_int4_pack_roundtrip(values):
+    vals = np.array(values, dtype=np.int8)
+    packed = pack_int4(vals)
+    assert packed.nbytes == vals.size // 2
+    assert np.array_equal(unpack_int4(packed), vals)
+
+
+def test_int4_pack_validation():
+    with pytest.raises(ShapeError):
+        pack_int4(np.array([1, 2, 3], dtype=np.int8))
+    with pytest.raises(ShapeError):
+        pack_int4(np.array([8, 0], dtype=np.int8))

@@ -1,0 +1,51 @@
+"""Tiling independence: any legal tiling computes the same convolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv import conv2d_ref
+from repro.gpu.autotune import autotune
+from repro.gpu.implicit_gemm import conv2d_implicit_gemm
+from repro.gpu.pipelinemodel import kernel_time
+from repro.gpu.tiling import search_space
+from repro.types import ConvSpec, GemmShape, Layout
+
+_SPACE8 = [t for t in search_space(8) if t.m_tile <= 64 and t.n_tile <= 64]
+_SPACE4 = [t for t in search_space(4) if t.m_tile <= 64 and t.n_tile <= 64]
+
+
+@given(st.integers(0, len(_SPACE8) - 1), st.integers(0, 2**32 - 1))
+@settings(max_examples=12, deadline=None)
+def test_any_legal_tiling_is_exact_int8(idx, seed):
+    tiling = _SPACE8[idx]
+    rng = np.random.default_rng(seed)
+    spec = ConvSpec("t", in_channels=5, out_channels=7, height=6, width=7,
+                    kernel=(3, 3), padding=(1, 1))
+    x = rng.integers(-128, 128, spec.input_shape(Layout.NHWC)).astype(np.int8)
+    w = rng.integers(-128, 128, spec.weight_shape(Layout.NCHW)).astype(np.int8)
+    out = conv2d_implicit_gemm(spec, x, w, bits=8, tiling=tiling)
+    assert np.array_equal(out.data, conv2d_ref(spec, x, w, layout=Layout.NHWC))
+
+
+@given(st.integers(0, len(_SPACE4) - 1), st.integers(0, 2**32 - 1))
+@settings(max_examples=8, deadline=None)
+def test_any_legal_tiling_is_exact_int4(idx, seed):
+    tiling = _SPACE4[idx]
+    rng = np.random.default_rng(seed)
+    spec = ConvSpec("t", in_channels=4, out_channels=6, height=5, width=6,
+                    kernel=(3, 3), padding=(1, 1))
+    x = rng.integers(-8, 8, spec.input_shape(Layout.NHWC)).astype(np.int8)
+    w = rng.integers(-8, 8, spec.weight_shape(Layout.NCHW)).astype(np.int8)
+    out = conv2d_implicit_gemm(spec, x, w, bits=4, tiling=tiling)
+    assert np.array_equal(out.data, conv2d_ref(spec, x, w, layout=Layout.NHWC))
+
+
+@given(st.integers(0, len(_SPACE8) - 1))
+@settings(max_examples=25, deadline=None)
+def test_autotune_is_optimal_over_sampled_configs(idx):
+    """The autotuner's pick is never slower than any sampled legal config."""
+    gemm = GemmShape(m=784, k=576, n=128)
+    best = autotune(gemm, 8).best_cycles
+    sampled = kernel_time(gemm, 8, _SPACE8[idx]).total_cycles
+    assert best <= sampled + 1e-6

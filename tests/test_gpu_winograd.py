@@ -1,0 +1,44 @@
+"""GPU winograd pricing: the quantified reason it stays on ARM."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.gpu.winograd import gpu_winograd_time, winograd_vs_implicit
+from repro.models import resnet50_conv_layers
+from repro.types import ConvSpec
+
+ELIGIBLE = [s for s in resnet50_conv_layers() if s.is_winograd_eligible()]
+
+
+def test_breakdown_positive():
+    perf = gpu_winograd_time(ELIGIBLE[0], 8)
+    assert perf.transform_in_cycles > 0
+    assert perf.gemm_cycles > 0
+    assert perf.transform_out_cycles > 0
+    assert perf.total_cycles == pytest.approx(
+        perf.transform_in_cycles + perf.gemm_cycles + perf.transform_out_cycles
+    )
+    assert perf.microseconds() > 0
+
+
+def test_requires_3x3_s1():
+    bad = ConvSpec("b", in_channels=8, out_channels=8, height=8, width=8,
+                   kernel=(1, 1))
+    with pytest.raises(ShapeError):
+        gpu_winograd_time(bad, 8)
+
+
+@pytest.mark.parametrize("batch", [1, 16])
+def test_implicit_gemm_wins_on_tensor_cores(batch):
+    """On Turing the transform traffic outweighs the 2.25x multiply saving
+    — winograd never beats the paper's implicit-GEMM path at int8."""
+    for spec in ELIGIBLE:
+        r = winograd_vs_implicit(spec.with_batch(batch), 8)
+        assert r["winograd_over_implicit"] >= 1.0
+
+
+def test_transforms_dominate_on_small_layers():
+    """For the cheapest layers the GEMM is a minority of winograd time."""
+    perf = gpu_winograd_time(ELIGIBLE[0], 8)  # 56x56/64ch
+    tf = perf.transform_in_cycles + perf.transform_out_cycles
+    assert tf > perf.gemm_cycles

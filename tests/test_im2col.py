@@ -1,0 +1,68 @@
+"""im2col correctness: the lowered GEMM reproduces the convolution."""
+
+import numpy as np
+import pytest
+
+from repro.conv.im2col import im2col, im2col_nhwc, output_from_gemm, weight_matrix
+from repro.conv.ref import conv2d_ref
+from repro.errors import ShapeError
+from repro.types import ConvSpec, Layout
+
+
+@pytest.fixture
+def spec():
+    return ConvSpec("i", in_channels=3, out_channels=5, height=8, width=9,
+                    kernel=(3, 3), stride=(2, 2), padding=(1, 1), batch=2)
+
+
+def _rand(spec, rng):
+    x = rng.integers(-8, 8, spec.input_shape(Layout.NCHW)).astype(np.int8)
+    w = rng.integers(-8, 8, spec.weight_shape(Layout.NCHW)).astype(np.int8)
+    return x, w
+
+
+def test_im2col_gemm_equals_ref(spec):
+    rng = np.random.default_rng(0)
+    x, w = _rand(spec, rng)
+    a = weight_matrix(spec, w).astype(np.int64)
+    cols = im2col(spec, x).astype(np.int64)
+    c = np.stack([a @ cols[i] for i in range(spec.batch)])
+    out = output_from_gemm(spec, c)
+    assert np.array_equal(out, conv2d_ref(spec, x, w))
+
+
+def test_im2col_nhwc_equals_ref(spec):
+    rng = np.random.default_rng(1)
+    x, w = _rand(spec, rng)
+    x_nhwc = np.ascontiguousarray(np.transpose(x, (0, 2, 3, 1)))
+    rows = im2col_nhwc(spec, x_nhwc).astype(np.int64)  # (batch*P, K)
+    a = weight_matrix(spec, w, layout=Layout.NHWC).astype(np.int64)
+    c = rows @ a.T  # (batch*P, M)
+    out = output_from_gemm(spec, c, layout=Layout.NHWC)
+    ref = conv2d_ref(spec, x_nhwc, w, layout=Layout.NHWC)
+    assert np.array_equal(out, ref)
+
+
+def test_im2col_shape(spec):
+    x = np.zeros(spec.input_shape(Layout.NCHW), dtype=np.int8)
+    cols = im2col(spec, x)
+    assert cols.shape == (spec.batch, spec.gemm_k, spec.gemm_n)
+    assert cols.flags["C_CONTIGUOUS"]
+
+
+def test_im2col_1x1_is_reshape():
+    spec = ConvSpec("p", in_channels=4, out_channels=4, height=5, width=6,
+                    kernel=(1, 1))
+    rng = np.random.default_rng(2)
+    x = rng.integers(-8, 8, spec.input_shape(Layout.NCHW)).astype(np.int8)
+    cols = im2col(spec, x)
+    assert np.array_equal(cols[0], x[0].reshape(4, 30))
+
+
+def test_shape_validation(spec):
+    with pytest.raises(ShapeError):
+        im2col(spec, np.zeros((1, 3, 8, 9), dtype=np.int8))  # wrong batch
+    with pytest.raises(ShapeError):
+        weight_matrix(spec, np.zeros((5, 3, 5, 5), dtype=np.int8))
+    with pytest.raises(ShapeError):
+        output_from_gemm(spec, np.zeros((1, 5, 10), dtype=np.int64))

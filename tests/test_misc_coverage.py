@@ -1,0 +1,81 @@
+"""Edge paths not covered elsewhere: describe strings, machine variants,
+error branches."""
+
+import numpy as np
+import pytest
+
+from repro.arm.conv_runner import time_arm_conv
+from repro.arm.cost_model import ArmMachine, tile_cycles
+from repro.arm.winograd_runner import time_winograd_conv
+from repro.errors import UnsupportedBitsError
+from repro.gpu.fusion import FusionMode, pipeline_time
+from repro.gpu.tiling import TilingParams
+from repro.types import ConvSpec, GemmShape
+
+MID = ConvSpec("mid", in_channels=64, out_channels=64, height=14, width=14,
+               kernel=(3, 3), padding=(1, 1))
+
+
+def test_convspec_describe():
+    s = MID.describe()
+    assert "64->64" in s and "3x3" in s and "14x14" in s
+
+
+def test_tilingparams_describe():
+    t = TilingParams(64, 32, 32, 16, 2, 2)
+    assert t.describe() == "M64xN32xK32/ks16@2x2w"
+
+
+def test_custom_arm_machine_scales_times():
+    slow = ArmMachine(clock_hz=0.6e9)
+    fast = ArmMachine(clock_hz=1.2e9)
+    p = time_arm_conv(MID, 4, machine=slow)
+    q = time_arm_conv(MID, 4, machine=fast)
+    # same cycles, different wall time
+    assert p.total_cycles == q.total_cycles
+    assert p.milliseconds(slow) == pytest.approx(2 * q.milliseconds(fast))
+
+
+def test_tile_cycles_validation():
+    with pytest.raises(UnsupportedBitsError):
+        tile_cycles("smlal", 4, 0)
+    with pytest.raises(UnsupportedBitsError):
+        tile_cycles("unknown-scheme", 4, 16)
+
+
+def test_tile_cycles_extrapolation_is_continuous():
+    """The K > 512 linear fit lines up with the exact regime."""
+    exact = tile_cycles("smlal", 4, 512)
+    extrapolated = tile_cycles("smlal", 4, 513)
+    assert abs(extrapolated - exact) / exact < 0.05
+
+
+def test_winograd_runner_custom_machine():
+    heavy_tf = ArmMachine(wino_input_tf_cycles_per_elem=10.0,
+                          wino_output_tf_cycles_per_elem=10.0)
+    default = time_winograd_conv(MID, 4)
+    heavy = time_winograd_conv(MID, 4, machine=heavy_tf)
+    assert heavy.total_cycles > default.total_cycles
+
+
+def test_gpu_pipeline_none_mode_counts_stages():
+    short = pipeline_time(MID, 8, FusionMode.NONE, with_relu=False)
+    long = pipeline_time(MID, 8, FusionMode.NONE, with_relu=True)
+    assert long.kernel_launches == short.kernel_launches + 2
+    assert long.total_cycles > short.total_cycles
+    assert long.microseconds() > 0
+
+
+def test_gemm_shape_macs():
+    g = GemmShape(m=3, k=5, n=7)
+    assert g.macs == 105
+
+
+def test_arm_perf_ms_default_machine():
+    p = time_arm_conv(MID, 2)
+    assert p.milliseconds() == pytest.approx(p.total_cycles / 1.2e9 * 1e3)
+
+
+def test_sdot_scheme_via_layer_api_rejects_garbage():
+    with pytest.raises(UnsupportedBitsError):
+        time_arm_conv(MID, 8, scheme="popcount")  # popcount isn't a GEMM scheme

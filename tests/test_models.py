@@ -1,0 +1,98 @@
+"""Workload tables: ResNet-50 / SCR-ResNet-50 / DenseNet-121."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.models import (
+    densenet121_conv_layers,
+    get_model_layers,
+    resnet50_conv_layers,
+    scr_resnet50_conv_layers,
+)
+from repro.models.layers import shape_key, total_macs, unique_conv_layers, with_batch
+from repro.models.resnet50 import resnet50_all_conv_layers
+from repro.models.scr_resnet50 import scr_resnet50_all_conv_layers
+from repro.types import ConvSpec
+
+
+def test_resnet50_has_53_convs():
+    assert len(resnet50_all_conv_layers()) == 53  # 1 stem + 16*3 + 4 proj
+
+
+def test_resnet50_unique_count_matches_paper():
+    uniq = resnet50_conv_layers()
+    # the paper plots exactly 19 unique layers (fp32 stem excluded)
+    assert len(uniq) == 19
+    # Sec. 5.2: conv1 is a "1x1 kernel with 64 channels"
+    assert uniq[0].kernel == (1, 1) and uniq[0].in_channels == 64
+    names = [s.name for s in uniq]
+    assert names == [f"conv{i + 1}" for i in range(len(uniq))]
+    with_stem = resnet50_conv_layers(include_stem=True)
+    assert len(with_stem) == 20
+    assert with_stem[0].kernel == (7, 7)
+
+
+def test_resnet50_macs_match_published_flops():
+    # ~3.86 GMACs of convolution at 224x224 (4.1 GFLOPs with FC/pool)
+    g = total_macs(resnet50_all_conv_layers()) / 1e9
+    assert 3.5 < g < 4.2
+
+
+def test_resnet50_contains_expected_shapes():
+    keys = {shape_key(s) for s in resnet50_conv_layers()}
+    mid = ConvSpec("x", in_channels=128, out_channels=128, height=28, width=28,
+                   kernel=(3, 3), stride=(1, 1), padding=(1, 1))
+    assert shape_key(mid) in keys
+    deep = ConvSpec("x", in_channels=2048, out_channels=512, height=7, width=7,
+                    kernel=(1, 1))
+    assert shape_key(deep) in keys
+
+
+def test_unique_dedup():
+    base = resnet50_all_conv_layers()
+    uniq = unique_conv_layers(base)
+    assert len({shape_key(s) for s in uniq}) == len(uniq)
+    assert {shape_key(s) for s in uniq} == {shape_key(s) for s in base}
+
+
+def test_scr_is_reallocated_but_iso_flops():
+    """The synthesized SCR keeps ResNet-50's budget but different shapes."""
+    r50 = total_macs(resnet50_all_conv_layers())
+    scr = total_macs(scr_resnet50_all_conv_layers())
+    assert 0.85 < scr / r50 < 1.25
+    r_keys = {shape_key(s) for s in resnet50_conv_layers()}
+    s_keys = {shape_key(s) for s in scr_resnet50_conv_layers()}
+    overlap = r_keys & s_keys
+    assert len(overlap) <= 1  # only the stem could collide, and it doesn't
+    # widths off the power-of-two grid (the 'unusual shapes' property)
+    assert any(s.out_channels not in (64, 128, 256, 512, 1024, 2048)
+               for s in scr_resnet50_conv_layers())
+
+
+def test_densenet_representative_16():
+    rep = densenet121_conv_layers()
+    assert len(rep) == 16
+    assert any(s.kernel == (3, 3) for s in rep)
+    assert not any(s.kernel == (7, 7) for s in rep)  # stem excluded
+    # the Sec. 5.5 example shape: 736 channels at 14x14
+    assert any(s.in_channels == 736 and s.height == 14 for s in rep)
+
+
+def test_densenet_full_unique():
+    full = densenet121_conv_layers(representative=None)
+    assert len(full) > 40
+    # growth convs are always 128 -> 32
+    k3 = [s for s in full if s.kernel == (3, 3)]
+    assert all(s.in_channels == 128 and s.out_channels == 32 for s in k3)
+
+
+def test_zoo_lookup_and_batch():
+    layers = get_model_layers("resnet50", batch=16)
+    assert all(s.batch == 16 for s in layers)
+    with pytest.raises(ReproError):
+        get_model_layers("vgg16")
+
+
+def test_with_batch_helper():
+    layers = with_batch(resnet50_conv_layers(), 4)
+    assert all(s.batch == 4 for s in layers)

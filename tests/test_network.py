@@ -1,0 +1,103 @@
+"""End-to-end network runtime: building, fusing, executing, pricing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.runtime import (
+    build_chain,
+    build_network,
+    calibrate_network,
+    estimate_network_cycles,
+    execute_network,
+    random_weights,
+)
+from repro.types import ConvSpec
+
+PLAN = [(8, 3, 1), (16, 3, 2), (16, 1, 1)]
+
+
+def tiny(bits=8):
+    return build_chain("tiny", 3, PLAN, height=16, width=16, bits=bits)
+
+
+def test_chain_shapes_connect():
+    net = tiny()
+    specs = net.specs
+    assert [s.out_channels for s in specs] == [8, 16, 16]
+    assert specs[1].out_height == 8  # stride-2 halves
+    assert net.total_macs > 0
+
+
+def test_disconnected_network_rejected():
+    a = ConvSpec("a", in_channels=3, out_channels=8, height=8, width=8,
+                 kernel=(3, 3), padding=(1, 1))
+    b = ConvSpec("b", in_channels=4, out_channels=8, height=8, width=8,
+                 kernel=(1, 1))
+    with pytest.raises(ShapeError):
+        build_network("bad", [a, b], 8)
+    c = ConvSpec("c", in_channels=8, out_channels=8, height=4, width=4,
+                 kernel=(1, 1))
+    with pytest.raises(ShapeError):
+        build_network("bad-spatial", [a, c], 8)
+
+
+def test_execute_end_to_end():
+    rng = np.random.default_rng(0)
+    net = tiny()
+    w = random_weights(net, rng)
+    x = rng.normal(size=(1, 3, 16, 16))
+    out = execute_network(net, x, w)
+    assert out.shape == (1, 16, 8, 8)
+    assert np.all(out >= 0)  # relu tail
+
+
+def test_fusion_preserves_results_end_to_end():
+    rng = np.random.default_rng(1)
+    net = tiny()
+    w = random_weights(net, rng)
+    x = rng.normal(size=(1, 3, 16, 16))
+    fused, report = net.fuse()
+    assert report.conv_relu_fused == len(PLAN)
+    assert np.array_equal(execute_network(net, x, w),
+                          execute_network(fused, x, w))
+
+
+def test_fusion_reduces_cost_on_both_backends():
+    net = tiny()
+    fused, _ = net.fuse()
+    for backend in ("arm", "gpu"):
+        before = estimate_network_cycles(net, backend)
+        after = estimate_network_cycles(fused, backend)
+        assert after.total_cycles < before.total_cycles
+        assert after.kernel_launches == before.kernel_launches / 2
+        assert before.milliseconds() > 0
+
+
+def test_calibration_improves_low_bit_fidelity():
+    rng = np.random.default_rng(2)
+    net4 = tiny(bits=4)
+    w = random_weights(net4, rng)
+    x = rng.normal(size=(1, 3, 16, 16))
+    from repro.analysis import float_reference_network
+
+    ref = float_reference_network(net4, x, w)
+    raw = execute_network(net4, x, w)
+    cal = execute_network(calibrate_network(net4, x, w), x, w)
+    err_raw = np.sqrt(np.mean((raw - ref) ** 2))
+    err_cal = np.sqrt(np.mean((cal - ref) ** 2))
+    assert err_cal < err_raw
+
+
+def test_calibrated_network_keeps_structure():
+    rng = np.random.default_rng(3)
+    net = tiny()
+    w = random_weights(net, rng)
+    x = rng.normal(size=(1, 3, 16, 16))
+    cal = calibrate_network(net, x, w)
+    assert len(cal.stages) == len(net.stages)
+    assert [s.spec.name for s in cal.stages] == [s.spec.name for s in net.stages]
+    # scales are per-stage and positive
+    for stage in cal.stages:
+        conv = stage.graph.convs()[0]
+        assert conv.attrs["out_scale"] > 0

@@ -1,0 +1,88 @@
+"""Data padding and packing (Sec. 3.2, Fig. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv.padding import (
+    pack_a,
+    pack_b,
+    pack_gemm_operands,
+    pad_matrix,
+    unpack_c,
+)
+from repro.errors import ShapeError
+
+
+def test_pad_matrix():
+    m = np.arange(6, dtype=np.int8).reshape(2, 3)
+    p = pad_matrix(m, 4, 4)
+    assert p.shape == (4, 4)
+    assert np.array_equal(p[:2, :3], m)
+    assert p[2:].sum() == 0 and p[:, 3].sum() == 0
+
+
+def test_pad_matrix_noop_when_aligned():
+    m = np.ones((4, 8), dtype=np.int8)
+    assert pad_matrix(m, 4, 4) is m
+
+
+def test_fig2_example():
+    # the 3x3 example of Fig. 2 with n_a = n_b = 4
+    a = np.arange(1, 10, dtype=np.int8).reshape(3, 3)
+    packed = pack_a(a, 4)
+    # one panel, column-major: column k contiguous with zero pad in row 3
+    assert packed[:4].tolist() == [1, 4, 7, 0]
+    assert packed[4:8].tolist() == [2, 5, 8, 0]
+    b = np.arange(1, 10, dtype=np.int8).reshape(3, 3)
+    packed_b = pack_b(b, 4)
+    # row-major panels: row k contiguous with zero pad in col 3
+    assert packed_b[:4].tolist() == [1, 2, 3, 0]
+    assert packed_b[4:8].tolist() == [4, 5, 6, 0]
+
+
+@given(st.integers(1, 40), st.integers(1, 30), st.integers(1, 25),
+       st.sampled_from([4, 8, 16]), st.sampled_from([1, 4]))
+@settings(max_examples=40, deadline=None)
+def test_packed_panels_reconstruct_gemm(m, k, n, n_a, n_b):
+    rng = np.random.default_rng(m * 1000 + k * 10 + n)
+    a = rng.integers(-8, 8, (m, k)).astype(np.int8)
+    b = rng.integers(-8, 8, (k, n)).astype(np.int8)
+    packed = pack_gemm_operands(a, b, n_a, n_b)
+    c = np.zeros((packed.m_padded, packed.n_padded), dtype=np.int64)
+    for pi in range(packed.m_panels):
+        ap = packed.a_panel(pi).astype(np.int64)
+        for pj in range(packed.n_panels):
+            bp = packed.b_panel(pj).astype(np.int64)
+            c[pi * n_a:(pi + 1) * n_a, pj * n_b:(pj + 1) * n_b] = np.einsum(
+                "ka,kb->ab", ap, bp)
+    assert np.array_equal(unpack_c(c, m, n), a.astype(np.int64) @ b)
+
+
+def test_pack_overhead_accounting():
+    a = np.zeros((17, 10), dtype=np.int8)
+    b = np.zeros((10, 5), dtype=np.int8)
+    packed = pack_gemm_operands(a, b, 16, 4)
+    assert packed.m_padded == 32
+    assert packed.n_padded == 8
+    assert packed.raw_bytes == 17 * 10 + 10 * 5
+    assert packed.packed_bytes == 32 * 10 + 10 * 8
+    assert packed.pack_overhead == pytest.approx(400 / 220)
+
+
+def test_pack_no_overhead_when_aligned():
+    a = np.zeros((16, 10), dtype=np.int8)
+    b = np.zeros((10, 8), dtype=np.int8)
+    packed = pack_gemm_operands(a, b, 16, 4)
+    assert packed.pack_overhead == pytest.approx(1.0)
+
+
+def test_validation():
+    with pytest.raises(ShapeError):
+        pack_gemm_operands(np.zeros((2, 3), np.int8), np.zeros((4, 2), np.int8), 4, 4)
+    with pytest.raises(ShapeError):
+        pack_gemm_operands(np.zeros((2, 3), np.int8), np.zeros((3, 2), np.int8), 0, 4)
+    with pytest.raises(ShapeError):
+        pad_matrix(np.zeros(3, np.int8), 4, 4)
+    with pytest.raises(ShapeError):
+        unpack_c(np.zeros((2, 2)), 4, 4)

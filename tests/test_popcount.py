@@ -1,0 +1,64 @@
+"""Bit-plane decomposition and bit-serial convolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv.popcount import (
+    conv2d_bitserial,
+    from_bitplanes,
+    plane_weight,
+    to_bitplanes,
+)
+from repro.errors import ShapeError, UnsupportedBitsError
+
+
+@given(st.integers(1, 8), st.lists(st.integers(-128, 127), min_size=1, max_size=64))
+@settings(max_examples=60)
+def test_bitplane_roundtrip(bits, values):
+    half = 1 << (bits - 1)
+    vals = np.clip(np.array(values), -half, half - 1).astype(np.int8)
+    planes = to_bitplanes(vals, bits)
+    assert planes.shape == (bits,) + vals.shape
+    assert set(np.unique(planes)).issubset({0, 1})
+    back = from_bitplanes(planes, bits)
+    assert np.array_equal(back, vals)
+
+
+def test_plane_weight_signs():
+    # MSB plane carries the negative weight of two's complement
+    assert plane_weight(0, 2) == 1
+    assert plane_weight(1, 2) == -2
+    assert plane_weight(2, 3) == -4
+    assert plane_weight(1, 3) == 2
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ShapeError):
+        to_bitplanes(np.array([2], dtype=np.int8), 2)
+    with pytest.raises(UnsupportedBitsError):
+        to_bitplanes(np.array([0], dtype=np.int8), 9)
+    with pytest.raises(ShapeError):
+        to_bitplanes(np.array([0.5]), 2)
+
+
+def test_plane_count_checked():
+    with pytest.raises(ShapeError):
+        from_bitplanes(np.zeros((3, 4), dtype=np.uint8), 2)
+
+
+def test_dot_product_identity():
+    """popcount(AND) of planes recombines to the signed dot product."""
+    rng = np.random.default_rng(0)
+    for bits in (2, 3):
+        half = 1 << (bits - 1)
+        a = rng.integers(-half, half, 100)
+        b = rng.integers(-half, half, 100)
+        pa = to_bitplanes(a, bits)
+        pb = to_bitplanes(b, bits)
+        total = 0
+        for p in range(bits):
+            for q in range(bits):
+                binary = int(np.sum(pa[p] & pb[q]))  # popcount(AND)
+                total += plane_weight(p, bits) * plane_weight(q, bits) * binary
+        assert total == int(np.dot(a, b))

@@ -1,0 +1,66 @@
+"""QTensor container invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.quant import QTensor
+from repro.quant.qtensor import storage_dtype
+
+
+def test_storage_dtype():
+    assert storage_dtype(2) == np.int8
+    assert storage_dtype(8) == np.int8
+    assert storage_dtype(12) == np.int16
+    assert storage_dtype(20) == np.int32
+
+
+def test_range_enforced():
+    QTensor(data=np.array([-8, 7], dtype=np.int8), scale=np.float64(1.0), bits=4)
+    with pytest.raises(QuantizationError):
+        QTensor(data=np.array([8], dtype=np.int8), scale=np.float64(1.0), bits=4)
+
+
+def test_adjusted_range_enforced_for_8bit():
+    # scheme range for 8-bit is [-127, 127]; -128 is rejected
+    with pytest.raises(QuantizationError):
+        QTensor(data=np.array([-128], dtype=np.int8), scale=np.float64(1.0), bits=8)
+
+
+def test_float_data_rejected():
+    with pytest.raises(QuantizationError):
+        QTensor(data=np.array([1.0]), scale=np.float64(1.0), bits=8)
+
+
+def test_scale_validation():
+    with pytest.raises(QuantizationError):
+        QTensor(data=np.array([1], dtype=np.int8), scale=np.float64(-1.0), bits=8)
+    with pytest.raises(QuantizationError):
+        QTensor(data=np.zeros((2, 3), dtype=np.int8),
+                scale=np.array([1.0, 1.0]), bits=8)  # missing channel_axis
+    with pytest.raises(QuantizationError):
+        QTensor(data=np.zeros((2, 3), dtype=np.int8),
+                scale=np.array([1.0, 1.0, 1.0]), bits=8, channel_axis=0)
+
+
+def test_dequantize_per_tensor():
+    qt = QTensor(data=np.array([2, -4], dtype=np.int8), scale=np.float64(0.5), bits=8)
+    assert qt.dequantize().tolist() == [1.0, -2.0]
+
+
+def test_dequantize_per_channel():
+    qt = QTensor(
+        data=np.array([[1, 1], [1, 1]], dtype=np.int8),
+        scale=np.array([1.0, 2.0]),
+        bits=8,
+        channel_axis=0,
+    )
+    assert qt.dequantize().tolist() == [[1.0, 1.0], [2.0, 2.0]]
+
+
+def test_with_data_keeps_metadata():
+    qt = QTensor(data=np.array([1], dtype=np.int8), scale=np.float64(0.5), bits=4)
+    qt2 = qt.with_data(np.array([5], dtype=np.int8))
+    assert qt2.bits == 4 and float(qt2.scale) == 0.5
+    with pytest.raises(QuantizationError):
+        qt.with_data(np.array([99], dtype=np.int8))

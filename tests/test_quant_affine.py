@@ -1,0 +1,102 @@
+"""Asymmetric (affine) quantization + the zero-point conv expansion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv import conv2d_ref
+from repro.errors import QuantizationError, ShapeError
+from repro.quant.affine import (
+    AffineParams,
+    affine_dequantize,
+    affine_quantize,
+    choose_affine_params,
+    conv2d_affine,
+    window_counts,
+)
+from repro.quant.ranges import qrange
+from repro.types import ConvSpec, Layout
+
+
+def test_param_validation():
+    with pytest.raises(QuantizationError):
+        AffineParams(0.0, 0, qrange(8))
+    with pytest.raises(QuantizationError):
+        AffineParams(1.0, 1000, qrange(8))
+
+
+@given(st.floats(-50, 0), st.floats(0, 50), st.integers(2, 8))
+@settings(max_examples=60)
+def test_choose_params_represents_zero_exactly(lo, hi, bits):
+    p = choose_affine_params(lo, hi, qrange(bits))
+    # real zero must map to an in-range integer exactly
+    z = affine_quantize(np.array([0.0]), p)
+    assert affine_dequantize(z, p)[0] == pytest.approx(0.0, abs=p.scale / 2)
+    assert p.qrange.qmin <= p.zero_point <= p.qrange.qmax
+
+
+@given(st.lists(st.floats(-10, 30, allow_nan=False), min_size=1, max_size=40))
+@settings(max_examples=60)
+def test_affine_roundtrip_bounded(values):
+    x = np.array(values)
+    p = choose_affine_params(float(x.min()), float(x.max()), qrange(8))
+    back = affine_dequantize(affine_quantize(x, p), p)
+    assert np.all(np.abs(back - x) <= p.scale / 2 + 1e-9)
+
+
+def test_degenerate_range():
+    # the range widens to include zero, so [3, 3] still quantizes 3.0
+    p = choose_affine_params(3.0, 3.0, qrange(8))
+    back = affine_dequantize(affine_quantize(np.array([3.0]), p), p)
+    assert back[0] == pytest.approx(3.0, abs=p.scale / 2)
+    # a truly empty range degrades gracefully
+    p0 = choose_affine_params(0.0, 0.0, qrange(8))
+    assert p0.scale == 1.0
+
+
+def test_window_counts():
+    spec = ConvSpec("c", in_channels=3, out_channels=2, height=4, width=4,
+                    kernel=(3, 3), padding=(1, 1))
+    counts = window_counts(spec)
+    # corners see 4 taps, edges 6, interior 9 (times 3 channels)
+    assert counts[0, 0] == 4 * 3
+    assert counts[0, 1] == 6 * 3
+    assert counts[1, 1] == 9 * 3
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(0, 2), st.integers(1, 2))
+@settings(max_examples=30, deadline=None)
+def test_affine_expansion_is_exact(seed, pad, stride):
+    """The four-term expansion equals the direct computation on shifted
+    operands, with real-zero padding semantics."""
+    rng = np.random.default_rng(seed)
+    spec = ConvSpec("a", in_channels=3, out_channels=4, height=7, width=6,
+                    kernel=(3, 3), stride=(stride, stride), padding=(pad, pad))
+    xp = AffineParams(0.1, rng.integers(-20, 20), qrange(8))
+    wp = AffineParams(0.05, rng.integers(-5, 5), qrange(8))
+    xq = rng.integers(-100, 100, spec.input_shape(Layout.NCHW))
+    wq = rng.integers(-100, 100, spec.weight_shape(Layout.NCHW))
+
+    got = conv2d_affine(spec, xq, wq, xp, wp)
+
+    # reference: shift, convolve with *shifted-zero* padding semantics —
+    # i.e. pad the raw xq with zx so padded taps contribute (zx - zx) = 0
+    ph, pw = spec.padding
+    xq_pad = np.full((1, 3, 7 + 2 * ph, 6 + 2 * pw), xp.zero_point,
+                     dtype=np.int64)
+    xq_pad[:, :, ph : ph + 7, pw : pw + 6] = xq
+    nospec = ConvSpec("a0", in_channels=3, out_channels=4,
+                      height=7 + 2 * ph, width=6 + 2 * pw, kernel=(3, 3),
+                      stride=(stride, stride))
+    ref = conv2d_ref(nospec, xq_pad - xp.zero_point,
+                     (wq - wp.zero_point).astype(np.int64))
+    assert np.array_equal(got, ref)
+
+
+def test_affine_grouped_rejected():
+    spec = ConvSpec("g", in_channels=4, out_channels=4, height=4, width=4,
+                    kernel=(3, 3), padding=(1, 1), groups=2)
+    p = AffineParams(1.0, 0, qrange(8))
+    with pytest.raises(ShapeError):
+        conv2d_affine(spec, np.zeros(spec.input_shape(Layout.NCHW), np.int64),
+                      np.zeros(spec.weight_shape(Layout.NCHW), np.int64), p, p)

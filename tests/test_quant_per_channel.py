@@ -1,0 +1,61 @@
+"""Per-channel requantization (per-channel weight scales)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv import conv2d_ref
+from repro.errors import QuantizationError
+from repro.gpu.implicit_gemm import conv2d_implicit_gemm
+from repro.gpu.tiling import TilingParams
+from repro.quant import requantize, requantize_per_channel, scheme_qrange
+from repro.types import ConvSpec, Layout
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(1, 6))
+@settings(max_examples=40)
+def test_per_channel_matches_per_tensor_channelwise(seed, channels):
+    rng = np.random.default_rng(seed)
+    acc = rng.integers(-(2**20), 2**20, (5, channels))
+    mults = rng.uniform(1e-4, 0.9, channels)
+    qr = scheme_qrange(8)
+    out = requantize_per_channel(acc, mults, qr, axis=1)
+    for c in range(channels):
+        expect = requantize(acc[:, c], float(mults[c]), qr)
+        assert np.array_equal(out[:, c], expect)
+
+
+def test_axis_selection():
+    rng = np.random.default_rng(0)
+    acc = rng.integers(-1000, 1000, (3, 4, 5))
+    mults = rng.uniform(0.1, 0.9, 4)
+    qr = scheme_qrange(8)
+    out = requantize_per_channel(acc, mults, qr, axis=1)
+    assert out.shape == acc.shape
+    moved = requantize_per_channel(np.moveaxis(acc, 1, -1), mults, qr, axis=-1)
+    assert np.array_equal(np.moveaxis(out, 1, -1), moved)
+
+
+def test_validation():
+    qr = scheme_qrange(8)
+    with pytest.raises(QuantizationError):
+        requantize_per_channel(np.zeros((2, 3)), np.ones((2, 2)), qr)
+    with pytest.raises(QuantizationError):
+        requantize_per_channel(np.zeros((2, 3)), np.ones(4), qr, axis=1)
+
+
+def test_gpu_epilogue_per_channel():
+    """The in-place GPU epilogue accepts per-output-channel multipliers."""
+    rng = np.random.default_rng(1)
+    spec = ConvSpec("g", in_channels=4, out_channels=6, height=6, width=6,
+                    kernel=(3, 3), padding=(1, 1))
+    x = rng.integers(-8, 8, spec.input_shape(Layout.NHWC)).astype(np.int8)
+    w = rng.integers(-8, 8, spec.weight_shape(Layout.NCHW)).astype(np.int8)
+    mults = rng.uniform(0.001, 0.01, spec.out_channels)
+    tiling = TilingParams(16, 16, 16, 16, 1, 1)
+    out = conv2d_implicit_gemm(spec, x, w, bits=8, tiling=tiling,
+                               epilogue="requant", requant_mult=mults)
+    acc = conv2d_ref(spec, x, w, layout=Layout.NHWC)
+    expect = requantize_per_channel(acc.reshape(-1, spec.out_channels),
+                                    mults, scheme_qrange(8), axis=-1)
+    assert np.array_equal(out.data.reshape(-1, spec.out_channels), expect)

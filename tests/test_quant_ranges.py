@@ -1,0 +1,69 @@
+"""Numeric ranges and the paper's adjusted-range rule (Sec. 3.3)."""
+
+import pytest
+
+from repro.errors import UnsupportedBitsError
+from repro.quant.ranges import (
+    ADJUSTED_RANGE_BITS,
+    QRange,
+    adjusted_qrange,
+    max_abs_product,
+    qrange,
+    scheme_qrange,
+)
+
+
+@pytest.mark.parametrize("bits,lo,hi", [
+    (2, -2, 1), (3, -4, 3), (4, -8, 7), (8, -128, 127),
+])
+def test_full_range(bits, lo, hi):
+    r = qrange(bits)
+    assert (r.qmin, r.qmax) == (lo, hi)
+
+
+@pytest.mark.parametrize("bits,lo,hi", [
+    (7, -63, 63), (8, -127, 127),
+])
+def test_adjusted_range(bits, lo, hi):
+    r = adjusted_qrange(bits)
+    assert (r.qmin, r.qmax) == (lo, hi)
+
+
+def test_scheme_range_follows_paper():
+    # 7/8-bit adjusted ("we adjust its value range to [-127,127]"), rest full
+    assert ADJUSTED_RANGE_BITS == {7, 8}
+    assert scheme_qrange(8).qmin == -127
+    assert scheme_qrange(7).qmin == -63
+    assert scheme_qrange(6).qmin == -32
+    assert scheme_qrange(2).qmin == -2
+
+
+@pytest.mark.parametrize("bits,expected", [
+    (2, 4), (3, 16), (4, 64), (5, 256), (6, 1024),
+    (7, 63 * 63), (8, 127 * 127),
+])
+def test_max_abs_product_scheme(bits, expected):
+    assert max_abs_product(bits) == expected
+
+
+def test_max_abs_product_explicit_modes():
+    assert max_abs_product(8, adjusted=False) == 128 * 128
+    assert max_abs_product(8, adjusted=True) == 127 * 127
+    assert max_abs_product(4, adjusted=True) == 49
+
+
+def test_qrange_validation():
+    with pytest.raises(ValueError):
+        QRange(3, 2)
+    with pytest.raises(UnsupportedBitsError):
+        qrange(0)
+    with pytest.raises(UnsupportedBitsError):
+        qrange(64)
+
+
+def test_qrange_helpers():
+    r = qrange(4)
+    assert r.max_abs == 8
+    assert r.num_levels == 16
+    assert r.contains(-8, 7)
+    assert not r.contains(-9, 0)

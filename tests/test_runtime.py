@@ -1,0 +1,124 @@
+"""Runtime graph, fusion passes and executors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime import (
+    Graph,
+    Op,
+    apply_all_fusions,
+    conv_pipeline,
+    estimate_graph_cycles,
+    execute_graph,
+    fuse_conv_dequant,
+    fuse_conv_relu,
+)
+from repro.types import ConvSpec
+
+SPEC = ConvSpec("c1", in_channels=4, out_channels=6, height=8, width=8,
+                kernel=(3, 3), padding=(1, 1))
+
+
+def _weights(rng):
+    return {SPEC.name: rng.normal(size=SPEC.weight_shape())}
+
+
+def test_pipeline_structure():
+    g = conv_pipeline(SPEC, 8)
+    assert [op.kind for op in g] == [
+        "quantize", "conv", "dequantize", "quantize", "relu", "dequantize"
+    ]
+    g2 = conv_pipeline(SPEC, 8, with_relu=False)
+    assert [op.kind for op in g2] == ["quantize", "conv", "dequantize"]
+
+
+def test_op_validation():
+    with pytest.raises(ReproError):
+        Op("normalize")
+    with pytest.raises(ReproError):
+        Op("conv", {"bits": 8})  # missing spec
+
+
+def test_conv_relu_fusion_rewrite():
+    g = conv_pipeline(SPEC, 8)
+    fused, report = fuse_conv_relu(g)
+    assert report.conv_relu_fused == 1
+    assert report.ops_eliminated == 3
+    kinds = [op.kind for op in fused]
+    assert kinds == ["quantize", "conv", "dequantize"]
+    conv = fused.convs()[0]
+    assert conv.attrs["epilogue"] == "requant_relu"
+
+
+def test_conv_dequant_fusion_rewrite():
+    g = conv_pipeline(SPEC, 8, with_relu=False)
+    fused, report = fuse_conv_dequant(g)
+    assert report.conv_dequant_fused == 1
+    assert [op.kind for op in fused] == ["quantize", "conv"]
+    assert fused.convs()[0].attrs["epilogue"] == "dequant"
+
+
+def test_all_fusions_order():
+    g = conv_pipeline(SPEC, 8)
+    fused, report = apply_all_fusions(g)
+    # relu fusion wins the conv; the trailing dequantize then fuses too
+    assert report.conv_relu_fused == 1
+    assert len(fused) == 3
+    assert fused.kernel_launches < g.kernel_launches
+
+
+def test_relu_fusion_is_numerically_exact():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=SPEC.input_shape())
+    w = _weights(rng)
+    g = conv_pipeline(SPEC, 8)
+    fused, _ = fuse_conv_relu(g)
+    assert np.array_equal(execute_graph(g, x, w), execute_graph(fused, x, w))
+
+
+def test_dequant_fusion_at_least_as_precise():
+    """Fused conv+dequant skips the int8 intermediate: its output equals the
+    exact scaled accumulator, so it differs from the unfused path by at most
+    the requantization rounding/clipping error."""
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=SPEC.input_shape()) * 0.1
+    w = _weights(rng)
+    g = conv_pipeline(SPEC, 8, with_relu=False)
+    fused, _ = fuse_conv_dequant(g)
+    out_unfused = execute_graph(g, x, w)
+    out_fused = execute_graph(fused, x, w)
+    # out_scale used by the unfused requant stage:
+    conv_op = g.convs()[0]
+    out_scale = conv_op.attrs["out_scale"]
+    inner = np.abs(out_fused) <= 127 * out_scale  # not clipped
+    assert np.all(np.abs(out_fused - out_unfused)[inner] <= out_scale / 2 + 1e-9)
+
+
+def test_execute_various_bits():
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=SPEC.input_shape())
+    w = _weights(rng)
+    for bits in (2, 4, 8):
+        g, _ = apply_all_fusions(conv_pipeline(SPEC, bits))
+        out = execute_graph(g, x, w)
+        assert out.shape == SPEC.output_shape()
+        assert np.all(out >= 0)  # fused relu clamped
+
+
+def test_execute_graph_errors():
+    bad = Graph((Op("conv", {"spec": SPEC, "bits": 8}),))
+    with pytest.raises(ReproError):
+        execute_graph(bad, np.zeros(SPEC.input_shape()), _weights(np.random.default_rng(0)))
+
+
+def test_estimate_cycles_both_backends():
+    g = conv_pipeline(SPEC, 8)
+    fused, _ = apply_all_fusions(g)
+    for backend in ("gpu", "arm"):
+        full = estimate_graph_cycles(g, backend)
+        less = estimate_graph_cycles(fused, backend)
+        assert less.total_cycles < full.total_cycles
+        assert less.kernel_launches < full.kernel_launches
+    with pytest.raises(ReproError):
+        estimate_graph_cycles(g, "tpu")

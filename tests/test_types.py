@@ -1,0 +1,101 @@
+"""ConvSpec / GemmShape geometry and validation."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.types import ConvSpec, GemmShape, Layout
+
+
+def test_basic_geometry():
+    spec = ConvSpec("c", in_channels=64, out_channels=128, height=56, width=56,
+                    kernel=(3, 3), stride=(1, 1), padding=(1, 1))
+    assert spec.out_height == 56
+    assert spec.out_width == 56
+    assert spec.gemm_m == 128
+    assert spec.gemm_k == 64 * 9
+    assert spec.gemm_n == 56 * 56
+
+
+def test_strided_geometry():
+    spec = ConvSpec("c", in_channels=3, out_channels=64, height=224, width=224,
+                    kernel=(7, 7), stride=(2, 2), padding=(3, 3))
+    assert spec.out_height == 112
+    assert spec.out_width == 112
+
+
+def test_asymmetric_kernel_and_stride():
+    spec = ConvSpec("c", in_channels=4, out_channels=4, height=20, width=30,
+                    kernel=(3, 5), stride=(2, 3), padding=(1, 2))
+    assert spec.out_height == (20 + 2 - 3) // 2 + 1
+    assert spec.out_width == (30 + 4 - 5) // 3 + 1
+
+
+def test_macs_counts_batch():
+    spec = ConvSpec("c", in_channels=8, out_channels=16, height=10, width=10,
+                    kernel=(1, 1), batch=4)
+    assert spec.macs == 4 * 16 * 8 * 100
+
+
+def test_shapes_by_layout():
+    spec = ConvSpec("c", in_channels=3, out_channels=5, height=7, width=9,
+                    kernel=(3, 3), padding=(1, 1))
+    assert spec.input_shape(Layout.NCHW) == (1, 3, 7, 9)
+    assert spec.input_shape(Layout.NHWC) == (1, 7, 9, 3)
+    assert spec.output_shape(Layout.NCHW) == (1, 5, 7, 9)
+    assert spec.weight_shape(Layout.NCHW) == (5, 3, 3, 3)
+    assert spec.weight_shape(Layout.NHWC) == (5, 3, 3, 3)
+
+
+def test_winograd_eligibility():
+    ok = ConvSpec("c", in_channels=4, out_channels=4, height=8, width=8,
+                  kernel=(3, 3), stride=(1, 1), padding=(1, 1))
+    assert ok.is_winograd_eligible()
+    stride2 = ConvSpec("c", in_channels=4, out_channels=4, height=8, width=8,
+                       kernel=(3, 3), stride=(2, 2), padding=(1, 1))
+    assert not stride2.is_winograd_eligible()
+    one = ConvSpec("c", in_channels=4, out_channels=4, height=8, width=8,
+                   kernel=(1, 1))
+    assert not one.is_winograd_eligible()
+
+
+def test_with_batch():
+    spec = ConvSpec("c", in_channels=4, out_channels=4, height=8, width=8)
+    assert spec.with_batch(16).batch == 16
+    assert spec.batch == 1  # frozen original untouched
+
+
+@pytest.mark.parametrize("field,value", [
+    ("in_channels", 0),
+    ("out_channels", -1),
+    ("height", 0),
+    ("batch", 0),
+])
+def test_invalid_positive_fields(field, value):
+    kwargs = dict(in_channels=4, out_channels=4, height=8, width=8)
+    kwargs[field] = value
+    with pytest.raises(ShapeError):
+        ConvSpec("c", **kwargs)
+
+
+def test_output_must_be_positive():
+    with pytest.raises(ShapeError):
+        ConvSpec("c", in_channels=4, out_channels=4, height=2, width=2,
+                 kernel=(5, 5))
+
+
+def test_groups_divisibility():
+    with pytest.raises(ShapeError):
+        ConvSpec("c", in_channels=6, out_channels=4, height=8, width=8, groups=4)
+
+
+def test_gemm_shape_from_conv():
+    spec = ConvSpec("c", in_channels=8, out_channels=16, height=10, width=10,
+                    kernel=(3, 3), padding=(1, 1))
+    g = GemmShape.from_conv(spec)
+    assert (g.m, g.k, g.n) == (16, 72, 100)
+    assert g.macs == 16 * 72 * 100
+
+
+def test_gemm_shape_validation():
+    with pytest.raises(ShapeError):
+        GemmShape(m=0, k=1, n=1)

@@ -1,0 +1,70 @@
+"""Shared helper functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import ceil_div, chunks, geomean, is_power_of_two, round_up, wrap_signed
+
+
+def test_ceil_div():
+    assert ceil_div(0, 4) == 0
+    assert ceil_div(1, 4) == 1
+    assert ceil_div(4, 4) == 1
+    assert ceil_div(5, 4) == 2
+
+
+def test_ceil_div_invalid():
+    with pytest.raises(ValueError):
+        ceil_div(1, 0)
+    with pytest.raises(ValueError):
+        ceil_div(-1, 2)
+
+
+@given(st.integers(0, 10**6), st.integers(1, 10**4))
+def test_ceil_div_property(a, b):
+    q = ceil_div(a, b)
+    assert (q - 1) * b < a <= q * b or (a == 0 and q == 0)
+
+
+def test_round_up():
+    assert round_up(0, 16) == 0
+    assert round_up(1, 16) == 16
+    assert round_up(16, 16) == 16
+    assert round_up(17, 16) == 32
+
+
+def test_is_power_of_two():
+    assert is_power_of_two(1)
+    assert is_power_of_two(64)
+    assert not is_power_of_two(0)
+    assert not is_power_of_two(12)
+
+
+def test_chunks():
+    assert [list(c) for c in chunks([1, 2, 3, 4, 5], 2)] == [[1, 2], [3, 4], [5]]
+    with pytest.raises(ValueError):
+        list(chunks([1], 0))
+
+
+def test_geomean():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        geomean([])
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+
+
+@given(st.lists(st.integers(-(10**12), 10**12), min_size=1, max_size=50),
+       st.integers(2, 32))
+def test_wrap_signed_matches_modular(values, bits):
+    x = np.array(values, dtype=np.int64)
+    w = wrap_signed(x, bits)
+    half = 1 << (bits - 1)
+    assert np.all(w >= -half) and np.all(w < half)
+    assert np.all((w - x) % (1 << bits) == 0)
+
+
+def test_wrap_signed_int8_cases():
+    x = np.array([127, 128, 255, 256, -129], dtype=np.int64)
+    assert wrap_signed(x, 8).tolist() == [127, -128, -1, 0, 127]

@@ -1,0 +1,138 @@
+"""Winograd F(2x2, 3x3): transforms, exactness, and the Sec. 3.4 range rule."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.conv.ref import conv2d_ref
+from repro.conv.winograd import (
+    AT,
+    BT,
+    G2,
+    WinogradRangeReport,
+    conv2d_winograd,
+    f4_input_growth,
+    winograd_eligible_bits,
+    winograd_range_report,
+    winograd_transform_input,
+    winograd_transform_weight,
+)
+from repro.errors import ShapeError, UnsupportedBitsError
+from repro.types import ConvSpec, Layout
+
+
+def test_transform_matrices_satisfy_winograd_identity():
+    """Scalar identity: for any 3-tap filter g and 4-sample signal d,
+    A^T[(G g)(.)(B^T d)] = conv1d(d, g) valid outputs (F(2,3))."""
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        g = rng.integers(-10, 10, 3)
+        d = rng.integers(-10, 10, 4)
+        u4 = G2 @ g  # 2*G applied: scale 2
+        v = BT @ d
+        y2 = AT @ (u4 * v)  # scale 2 result
+        ref = np.array([np.dot(d[0:3], g), np.dot(d[1:4], g)])
+        assert np.array_equal(y2, 2 * ref)
+
+
+def test_weight_transform_shapes_and_scale():
+    w = np.ones((2, 3, 3, 3), dtype=np.int8)
+    u4 = winograd_transform_weight(w, scaled=True)
+    assert u4.shape == (2, 3, 4, 4)
+    # all-ones filter: G g G^T center entries are 9/4 -> u4 center = 9
+    assert u4[0, 0, 1, 1] == 9
+    rounded = winograd_transform_weight(w, scaled=False)
+    assert rounded[0, 0, 1, 1] == 2  # round(9/4)
+
+
+def test_input_transform_range_growth():
+    # worst case: alternating-sign tile at magnitude m grows by exactly 4x
+    m = 8
+    tile = np.zeros((4, 4), dtype=np.int64)
+    tile[0, 0] = m
+    tile[2, 0] = -m
+    tile[0, 2] = -m
+    tile[2, 2] = m
+    v = winograd_transform_input(tile)
+    assert np.abs(v).max() == 4 * m
+
+
+@pytest.mark.parametrize("mode", ["exact"])
+def test_exact_mode_is_bit_identical(mode):
+    rng = np.random.default_rng(1)
+    spec = ConvSpec("w", in_channels=4, out_channels=6, height=9, width=10,
+                    kernel=(3, 3), padding=(1, 1), batch=2)
+    for bits in (2, 4, 6, 8):
+        half = 1 << (bits - 1)
+        x = rng.integers(-half, half, spec.input_shape(Layout.NCHW)).astype(np.int8)
+        w = rng.integers(-half, half, spec.weight_shape(Layout.NCHW)).astype(np.int8)
+        assert np.array_equal(conv2d_winograd(spec, x, w, mode=mode),
+                              conv2d_ref(spec, x, w))
+
+
+def test_paper_mode_error_is_bounded():
+    """Rounded transformed weights deviate by at most 1/4 per tap pre-
+    transform; the output error per element is bounded by the A-transform
+    gain times the input magnitude."""
+    rng = np.random.default_rng(2)
+    spec = ConvSpec("w", in_channels=8, out_channels=4, height=8, width=8,
+                    kernel=(3, 3), padding=(1, 1))
+    half = 1 << 3  # 4-bit
+    x = rng.integers(-half, half, spec.input_shape(Layout.NCHW)).astype(np.int8)
+    w = rng.integers(-half, half, spec.weight_shape(Layout.NCHW)).astype(np.int8)
+    approx = conv2d_winograd(spec, x, w, mode="paper")
+    ref = conv2d_ref(spec, x, w)
+    # |U - round(U)| <= 1/2 per transformed tap; 16 taps, Cin channels,
+    # |V| <= 4*half, A^T..A gain <= 9 per output element
+    bound = 0.5 * 16 * spec.in_channels * 4 * half
+    assert np.abs(approx - ref).max() <= bound
+    # and it should usually be *much* smaller (sanity: not wildly wrong)
+    assert np.abs(approx - ref).mean() < bound / 50
+
+
+def test_range_report_matches_paper():
+    r4 = winograd_range_report(4)
+    assert r4.input_growth == 4
+    assert r4.weight_growth == Fraction(9, 4)
+    assert r4.fits_int8
+    r6 = winograd_range_report(6)
+    assert r6.transformed_input_max_abs == 128
+    assert r6.fits_int8
+    r7 = winograd_range_report(7)
+    assert not r7.fits_int8
+
+
+def test_eligible_bits_is_4_to_6():
+    assert winograd_eligible_bits() == [4, 5, 6]
+
+
+def test_f4x4_rejected():
+    # F(4x4, 3x3) input growth is (13/2)^2 = 42.25x -> unusable at low bits
+    assert f4_input_growth() == Fraction(169, 4)
+    assert float(f4_input_growth()) > 40
+
+
+def test_requires_3x3_stride1():
+    spec = ConvSpec("w", in_channels=2, out_channels=2, height=8, width=8,
+                    kernel=(3, 3), stride=(2, 2), padding=(1, 1))
+    x = np.zeros(spec.input_shape(Layout.NCHW), dtype=np.int8)
+    w = np.zeros(spec.weight_shape(Layout.NCHW), dtype=np.int8)
+    with pytest.raises(ShapeError):
+        conv2d_winograd(spec, x, w)
+
+
+def test_range_report_bits_validation():
+    with pytest.raises(UnsupportedBitsError):
+        winograd_range_report(1)
+    with pytest.raises(UnsupportedBitsError):
+        winograd_range_report(9)
+
+
+def test_odd_output_sizes_cropped_correctly():
+    rng = np.random.default_rng(3)
+    spec = ConvSpec("w", in_channels=2, out_channels=3, height=7, width=5,
+                    kernel=(3, 3), padding=(0, 0))  # 5x3 output, both odd
+    x = rng.integers(-8, 8, spec.input_shape(Layout.NCHW)).astype(np.int8)
+    w = rng.integers(-8, 8, spec.weight_shape(Layout.NCHW)).astype(np.int8)
+    assert np.array_equal(conv2d_winograd(spec, x, w), conv2d_ref(spec, x, w))
