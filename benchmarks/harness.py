@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Standalone entry point for the wall-clock bench harness.
+
+Equivalent to ``python -m repro bench``; exists so the perf trajectory can
+be regenerated from the benchmarks directory without remembering the CLI:
+
+    PYTHONPATH=src python benchmarks/harness.py [--smoke] [--model M] ...
+
+The heavy lifting lives in :mod:`repro.perf.bench`; reports land next to
+the figure artifacts in ``benchmarks/out/BENCH_*.json``.  Unlike the
+pytest-benchmark files in this directory, this harness times the *search
+engine* (serial baseline vs pruned/parallel/cached autotune), not the
+simulated devices.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if SRC.is_dir() and str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.cli import main as cli_main
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    if "--out" not in args:
+        args += ["--out", str(REPO_ROOT / "benchmarks" / "out")]
+    return cli_main(["bench", *args])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,8 +22,9 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from ..errors import UnsupportedBitsError
+from ..perf.cache import PersistentCache, code_fingerprint, stable_hash
 from ..types import ConvSpec
-from .pipeline import A53_COST_TABLE, CostTable, PipelineModel
+from .pipeline import A53_COST_TABLE, CostTable, PipelineModel, PipelineResult
 from .ratios import MLA_SCHEME_BITS, SMLAL_SCHEME_BITS
 
 
@@ -100,12 +101,69 @@ def _generate(scheme: str, bits: int, k: int, interleave: bool, round_steps: int
     raise UnsupportedBitsError(bits, f"unknown scheme {scheme!r}")
 
 
+#: persistent memo of scheduled micro-kernel streams: the static schedule
+#: of one (scheme, bits, k, interleave, round_steps) stream is recomputed
+#: by every process that prices a layer, yet it is a pure function of the
+#: generators + pipeline model — so schedule once, store, and scale.
+_SCHEDULE_STORE = PersistentCache("arm-schedule")
+
+_FINGERPRINT: str | None = None
+
+
+def _code_version() -> str:
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        from . import assembler, isa, pipeline, registers
+        from . import kernels as _kernels
+        from .kernels import base, mla_scheme, ncnn_like, popcount_scheme, smlal_scheme
+        from .kernels import sdot_scheme
+
+        _FINGERPRINT = code_fingerprint([
+            pipeline, isa, registers, assembler, _kernels,
+            base, mla_scheme, ncnn_like, popcount_scheme, smlal_scheme,
+            sdot_scheme,
+        ])
+    return _FINGERPRINT
+
+
+def schedule_store() -> PersistentCache:
+    """The persistent schedule cache (bench/stats introspection)."""
+    return _SCHEDULE_STORE
+
+
 @lru_cache(maxsize=None)
+def _schedule_result(
+    scheme: str, bits: int, k: int, interleave: bool, round_steps: int | None
+) -> PipelineResult:
+    digest = stable_hash({
+        "scheme": scheme, "bits": bits, "k": k, "interleave": interleave,
+        "round_steps": round_steps, "code": _code_version(),
+    })
+    data = _SCHEDULE_STORE.get(digest)
+    if data is not None:
+        try:
+            return PipelineResult.from_json(data)
+        except (KeyError, TypeError, ValueError):
+            pass  # stale/corrupt entry: reschedule below
+    kern = _generate(scheme, bits, k, interleave, round_steps)
+    result = PipelineModel(A53_COST_TABLE).schedule(kern.stream)
+    _SCHEDULE_STORE.put(digest, result.to_json())
+    return result
+
+
 def _schedule_cycles(
     scheme: str, bits: int, k: int, interleave: bool, round_steps: int | None
 ) -> int:
-    kern = _generate(scheme, bits, k, interleave, round_steps)
-    return PipelineModel(A53_COST_TABLE).schedule(kern.stream).cycles
+    return _schedule_result(scheme, bits, k, interleave, round_steps).cycles
+
+
+def clear_schedule_cache(*, persistent: bool = False) -> None:
+    """Drop memoized schedules (tests/bench; mirrors
+    :func:`repro.gpu.autotune.clear_cache`)."""
+    _schedule_result.cache_clear()
+    _linear_fit.cache_clear()
+    if persistent:
+        _SCHEDULE_STORE.clear()
 
 
 @lru_cache(maxsize=None)

@@ -129,6 +129,30 @@ class PipelineResult:
     def seconds(self, table: CostTable = A53_COST_TABLE) -> float:
         return self.cycles / table.clock_hz
 
+    # -- persistence (repro.perf cache of scheduled streams) ----------------
+
+    def to_json(self) -> dict:
+        """Plain-dict form for the persistent schedule cache: scheduling a
+        micro-kernel stream is deterministic, so the result can be reloaded
+        across processes instead of re-scheduling identical streams."""
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "mem_busy": self.mem_busy,
+            "neon_busy": self.neon_busy,
+            "stall_cycles": self.stall_cycles,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PipelineResult":
+        return cls(
+            cycles=int(data["cycles"]),
+            instructions=int(data["instructions"]),
+            mem_busy=int(data["mem_busy"]),
+            neon_busy=int(data["neon_busy"]),
+            stall_cycles=int(data["stall_cycles"]),
+        )
+
 
 class PipelineModel:
     """Greedy in-order scheduler over a cost table."""

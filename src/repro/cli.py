@@ -13,6 +13,10 @@ Commands
 ``kernel <scheme> <bits> <k>``
     Generate a micro-kernel, print its opcode histogram, cycle estimate
     and (with ``--listing``) the full instruction listing.
+``bench [--smoke] [--model M] [--batch B] [--jobs N] ...``
+    Time the Fig. 10/11 autotune sweep (serial baseline vs the pruned/
+    parallel/cached engine, cold and warm), verify bit-identical results,
+    and write ``BENCH_*.json`` (see :mod:`repro.perf.bench`).
 """
 
 from __future__ import annotations
@@ -105,6 +109,25 @@ def cmd_kernel(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .perf.bench import DEFAULT_OUT_DIR, run_bench
+
+    try:
+        run_bench(
+            model=args.model,
+            batch=args.batch,
+            smoke=args.smoke,
+            jobs=args.jobs,
+            out_dir=args.out if args.out else DEFAULT_OUT_DIR,
+            cache_dir=args.cache_dir,
+            arm=not args.no_arm,
+        )
+    except AssertionError as exc:
+        print(f"bench FAILED: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -139,6 +162,23 @@ def build_parser() -> argparse.ArgumentParser:
     kp.add_argument("--listing", action="store_true",
                     help="print the full instruction stream")
     kp.set_defaults(fn=cmd_kernel)
+
+    bp = sub.add_parser(
+        "bench", help="time the autotune sweep and write BENCH_*.json")
+    bp.add_argument("--model", default="resnet50",
+                    choices=["resnet50", "scr-resnet50", "densenet121"])
+    bp.add_argument("--batch", type=int, default=1)
+    bp.add_argument("--smoke", action="store_true",
+                    help="3-layer sweep for CI; skips figure regeneration")
+    bp.add_argument("--jobs", type=int, default=None,
+                    help="parallel workers (default: REPRO_JOBS or cpu count)")
+    bp.add_argument("--out", default=None,
+                    help="output directory (default: benchmarks/out)")
+    bp.add_argument("--cache-dir", default=None,
+                    help="persistent cache dir (default: throwaway temp dir)")
+    bp.add_argument("--no-arm", action="store_true",
+                    help="skip the ARM schedule-cache section")
+    bp.set_defaults(fn=cmd_bench)
     return p
 
 

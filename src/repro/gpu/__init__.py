@@ -27,7 +27,13 @@ from .implicit_gemm import conv2d_implicit_gemm, ConvGpuOutput
 from .memory import coalesced_transactions, lds_instructions, SmemAccessReport
 from .pipelinemodel import GpuKernelPerf, kernel_time, conv_time
 from .fusion import FusionMode, pipeline_time, fusion_speedups
-from .autotune import autotune, AutotuneResult
+from .autotune import (
+    autotune,
+    autotune_reference,
+    AutotuneResult,
+    autotune_options,
+    clear_cache,
+)
 from .baselines import cudnn_dp4a_time, tensorrt_time
 from .kernelsim import (
     BlockInstr,
@@ -64,7 +70,10 @@ __all__ = [
     "pipeline_time",
     "fusion_speedups",
     "autotune",
+    "autotune_reference",
     "AutotuneResult",
+    "autotune_options",
+    "clear_cache",
     "cudnn_dp4a_time",
     "tensorrt_time",
     "BlockInstr",

@@ -3,52 +3,311 @@
 "To determine the optimal tiling parameters ... we use C++ template to
 generate multiple kernels with different combinations of tiling parameters
 and choose the best ones through profile runs."  Here a profile run is an
-evaluation of the performance simulator; the search is the same exhaustive
-sweep over legal template instantiations, and it is cached per GEMM shape
-("the optimal tiling parameters only need to be determined once per
-convolution shape").
+evaluation of the performance simulator; the search covers the same
+exhaustive grid of legal template instantiations, and the result is cached
+per GEMM shape ("the optimal tiling parameters only need to be determined
+once per convolution shape").
+
+Three layers make the search fast without changing its answer:
+
+* **branch-and-bound pruning** — candidates are sorted by the admissible
+  :func:`~repro.gpu.pipelinemodel.kernel_lower_bound` (compute-only and
+  bandwidth-only floors); once the incumbent beats every remaining bound
+  the sweep stops.  The bound never exceeds the achieved time, so the
+  winner — including the tie-break on search-space order — is identical
+  to the exhaustive sweep's;
+* **parallel evaluation** — fixed-size candidate chunks fan out through
+  :class:`repro.perf.ParallelRunner` and merge by input index, so any
+  worker count produces bit-identical results (``REPRO_JOBS`` overrides);
+* **a persistent content-addressed cache** — results are memoized on disk
+  (:class:`repro.perf.PersistentCache`, ``REPRO_CACHE_DIR`` overrides the
+  location) keyed by a :func:`repro.perf.stable_hash` of shape, bits,
+  device, kernel kwargs *and a fingerprint of the cost-model code*, so
+  editing the model invalidates stale entries.
+
+``autotune_reference`` keeps the original single-threaded exhaustive loop
+as the equivalence baseline for tests and ``python -m repro bench``.
 """
 
 from __future__ import annotations
 
+import contextlib
+import threading
 from dataclasses import dataclass
 
 from ..errors import AutotuneError
+from ..perf.cache import PersistentCache, code_fingerprint, stable_hash
+from ..perf.parallel import ParallelRunner
 from ..types import ConvSpec, GemmShape
 from .device import GpuDevice, TU102
-from .pipelinemodel import GpuKernelPerf, conv_gemm_shape, kernel_time
-from .tiling import TilingParams, search_space
+from .pipelinemodel import GpuKernelPerf, conv_gemm_shape, kernel_lower_bound, kernel_time
+from .tiling import TilingParams, search_space, search_space_size
+
+#: candidates evaluated per parallel round.  Fixed (never derived from the
+#: worker count) so candidate/pruned tallies are identical for any jobs
+#: setting; pruning is re-checked between rounds.
+_CHUNK = 16
 
 
 @dataclass(frozen=True)
 class AutotuneResult:
-    """Best configuration found by the profile sweep."""
+    """Best configuration found by the profile sweep.
+
+    ``candidates`` counts the legal search space; ``evaluated`` the
+    profile runs actually performed and ``pruned`` the candidates skipped
+    because their lower bound already exceeded the incumbent
+    (``evaluated + pruned == candidates``; an exhaustive sweep has
+    ``pruned == 0``).
+    """
 
     gemm: GemmShape
     bits: int
     best: TilingParams
     best_perf: GpuKernelPerf
     candidates: int
+    evaluated: int = 0
+    pruned: int = 0
 
     @property
     def best_cycles(self) -> float:
         return self.best_perf.total_cycles
 
+    def to_json(self) -> dict:
+        p = self.best_perf
+        return {
+            "gemm": [self.gemm.m, self.gemm.k, self.gemm.n],
+            "bits": self.bits,
+            "best": _tiling_to_json(self.best),
+            "best_perf": {
+                "tiling": _tiling_to_json(p.tiling),
+                "bits": p.bits,
+                "compute_cycles": p.compute_cycles,
+                "dram_cycles": p.dram_cycles,
+                "smem_cycles": p.smem_cycles,
+                "launch_cycles": p.launch_cycles,
+                "blocks": p.blocks,
+                "blocks_per_sm": p.blocks_per_sm,
+                "occupancy": p.occupancy,
+                "overlapped": p.overlapped,
+            },
+            "candidates": self.candidates,
+            "evaluated": self.evaluated,
+            "pruned": self.pruned,
+        }
 
-_CACHE: dict[tuple, AutotuneResult] = {}
+    @classmethod
+    def from_json(cls, data: dict) -> "AutotuneResult":
+        gemm = GemmShape(*(int(v) for v in data["gemm"]))
+        perf = data["best_perf"]
+        best_perf = GpuKernelPerf(
+            gemm=gemm,
+            tiling=_tiling_from_json(perf["tiling"]),
+            bits=int(perf["bits"]),
+            compute_cycles=float(perf["compute_cycles"]),
+            dram_cycles=float(perf["dram_cycles"]),
+            smem_cycles=float(perf["smem_cycles"]),
+            launch_cycles=float(perf["launch_cycles"]),
+            blocks=int(perf["blocks"]),
+            blocks_per_sm=int(perf["blocks_per_sm"]),
+            occupancy=float(perf["occupancy"]),
+            overlapped=bool(perf["overlapped"]),
+        )
+        return cls(
+            gemm=gemm,
+            bits=int(data["bits"]),
+            best=_tiling_from_json(data["best"]),
+            best_perf=best_perf,
+            candidates=int(data["candidates"]),
+            evaluated=int(data["evaluated"]),
+            pruned=int(data["pruned"]),
+        )
 
 
-def autotune(
+def _tiling_to_json(t: TilingParams) -> list[int]:
+    return [t.m_tile, t.n_tile, t.k_tile, t.k_step,
+            t.block_row_warps, t.block_col_warps]
+
+
+def _tiling_from_json(v: list) -> TilingParams:
+    return TilingParams(*(int(x) for x in v))
+
+
+# ---------------------------------------------------------------------------
+# Caches and options
+# ---------------------------------------------------------------------------
+
+_MEM_CACHE: dict[str, AutotuneResult] = {}
+_SPACE_CACHE: dict[tuple[int, GpuDevice], list[TilingParams]] = {}
+_STORE = PersistentCache("gpu-autotune")
+_LOCK = threading.Lock()
+
+_FINGERPRINT: str | None = None
+
+
+def _code_version() -> str:
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        from . import device, mma, pipelinemodel, tiling
+
+        import sys
+
+        _FINGERPRINT = code_fingerprint(
+            [tiling, pipelinemodel, device, mma, sys.modules[__name__]]
+        )
+    return _FINGERPRINT
+
+
+def clear_cache(*, persistent: bool = False) -> None:
+    """Drop memoized autotune results (the in-process cache always; the
+    on-disk store too with ``persistent=True``).  Public for tests and the
+    bench harness."""
+    with _LOCK:
+        _MEM_CACHE.clear()
+    if persistent:
+        _STORE.clear()
+
+
+def cache_store() -> PersistentCache:
+    """The persistent store (exposed for stats/bench introspection)."""
+    return _STORE
+
+
+@dataclass(frozen=True)
+class AutotuneOptions:
+    """Session-wide search-engine switches (see :func:`autotune_options`).
+
+    ``engine=False`` routes every :func:`autotune` call through
+    :func:`autotune_reference` (memoized in-process only) — the bench
+    harness uses it to time the pre-optimization serial path faithfully.
+    """
+
+    prune: bool = True
+    persistent: bool = True
+    jobs: int | None = None
+    engine: bool = True
+
+
+_OPTIONS = AutotuneOptions()
+
+
+@contextlib.contextmanager
+def autotune_options(
+    *,
+    prune: bool | None = None,
+    persistent: bool | None = None,
+    jobs: int | None = None,
+    engine: bool | None = None,
+):
+    """Temporarily override engine defaults (bench/tests); thread-hostile
+    by design — configure before fanning out, not inside workers."""
+    global _OPTIONS
+    prev = _OPTIONS
+    _OPTIONS = AutotuneOptions(
+        prune=prev.prune if prune is None else prune,
+        persistent=prev.persistent if persistent is None else persistent,
+        jobs=prev.jobs if jobs is None else jobs,
+        engine=prev.engine if engine is None else engine,
+    )
+    try:
+        yield _OPTIONS
+    finally:
+        _OPTIONS = prev
+
+
+def _legal_candidates(bits: int, device: GpuDevice) -> list[TilingParams]:
+    """The legal search space, memoized per (bits, device) — legality does
+    not depend on the GEMM shape, so validating it once per process is
+    free speedup for every per-layer sweep."""
+    key = (bits, device)
+    space = _SPACE_CACHE.get(key)
+    if space is None:
+        space = list(search_space(bits, device=device))
+        _SPACE_CACHE[key] = space
+    return space
+
+
+def _no_legal_tiling_error(
+    gemm: GemmShape, bits: int, device: GpuDevice
+) -> AutotuneError:
+    return AutotuneError(
+        f"no legal tiling for {gemm} at {bits}-bit on {device.name}: "
+        f"0 of {search_space_size(bits)} template instantiations fit the "
+        f"device limits"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Search engines
+# ---------------------------------------------------------------------------
+
+
+def _search_pruned(
+    gemm: GemmShape,
+    bits: int,
+    space: list[TilingParams],
+    device: GpuDevice,
+    *,
+    prune: bool,
+    jobs: int | None,
+    kernel_kwargs: dict,
+) -> AutotuneResult:
+    """Best-bound-first sweep with exact pruning and deterministic merge.
+
+    Candidates are profiled in ascending lower-bound order, ``_CHUNK`` at
+    a time (parallel inside a chunk, merged by index).  Between chunks the
+    incumbent is compared against the next-smallest remaining bound: once
+    ``bound > incumbent`` holds there, it holds for every remaining
+    candidate, each of which must then be *strictly* slower — so pruning
+    can change neither the winner nor the first-in-search-order tie-break
+    (ties are resolved by original candidate index, exactly like the
+    serial loop's strict-improvement scan).
+    """
+    bounds = [
+        kernel_lower_bound(gemm, bits, t, device=device, **kernel_kwargs)
+        for t in space
+    ]
+    order = sorted(range(len(space)), key=lambda i: (bounds[i], i))
+    runner = ParallelRunner(jobs)
+
+    def profile(i: int) -> GpuKernelPerf:
+        return kernel_time(gemm, bits, space[i], device=device, **kernel_kwargs)
+
+    best_key: tuple[float, int] | None = None
+    best_perf: GpuKernelPerf | None = None
+    evaluated = 0
+    pos = 0
+    while pos < len(order):
+        if prune and best_key is not None and bounds[order[pos]] > best_key[0]:
+            break  # sorted bounds: every remaining candidate is slower
+        chunk = order[pos:pos + _CHUNK]
+        pos += len(chunk)
+        for i, perf in zip(chunk, runner.map(profile, chunk, chunksize=4)):
+            evaluated += 1
+            key = (perf.total_cycles, i)
+            if best_key is None or key < best_key:
+                best_key, best_perf = key, perf
+    assert best_perf is not None  # space is non-empty
+    return AutotuneResult(
+        gemm=gemm,
+        bits=bits,
+        best=best_perf.tiling,
+        best_perf=best_perf,
+        candidates=len(space),
+        evaluated=evaluated,
+        pruned=len(space) - evaluated,
+    )
+
+
+def autotune_reference(
     gemm: GemmShape,
     bits: int,
     *,
     device: GpuDevice = TU102,
     **kernel_kwargs,
 ) -> AutotuneResult:
-    """Sweep every legal tiling, profile each, return the fastest."""
-    key = (gemm, bits, device.name, tuple(sorted(kernel_kwargs.items())))
-    if key in _CACHE:
-        return _CACHE[key]
+    """The original serial exhaustive sweep, kept verbatim as the
+    equivalence baseline: no pruning, no parallelism, no caching of any
+    kind.  ``python -m repro bench`` times the engine against this."""
     best: TilingParams | None = None
     best_perf: GpuKernelPerf | None = None
     count = 0
@@ -58,11 +317,75 @@ def autotune(
         if best_perf is None or perf.total_cycles < best_perf.total_cycles:
             best, best_perf = tiling, perf
     if best is None or best_perf is None:
-        raise AutotuneError(f"no legal tiling for {gemm} at {bits}-bit")
-    result = AutotuneResult(
-        gemm=gemm, bits=bits, best=best, best_perf=best_perf, candidates=count
+        raise _no_legal_tiling_error(gemm, bits, device)
+    return AutotuneResult(
+        gemm=gemm, bits=bits, best=best, best_perf=best_perf,
+        candidates=count, evaluated=count, pruned=0,
     )
-    _CACHE[key] = result
+
+
+def autotune(
+    gemm: GemmShape,
+    bits: int,
+    *,
+    device: GpuDevice = TU102,
+    jobs: int | None = None,
+    prune: bool | None = None,
+    persistent: bool | None = None,
+    **kernel_kwargs,
+) -> AutotuneResult:
+    """Sweep every legal tiling, profile each, return the fastest.
+
+    ``jobs``/``prune``/``persistent`` override the engine defaults (see
+    :func:`autotune_options`); every other keyword is forwarded to
+    :func:`~repro.gpu.pipelinemodel.kernel_time` and participates in the
+    cache key.
+    """
+    opts = _OPTIONS
+    prune = opts.prune if prune is None else prune
+    persistent = opts.persistent if persistent is None else persistent
+    jobs = opts.jobs if jobs is None else jobs
+
+    digest = stable_hash({
+        "gemm": [gemm.m, gemm.k, gemm.n],
+        "bits": bits,
+        "device": device,
+        "kwargs": kernel_kwargs,
+        "code": _code_version(),
+    })
+    with _LOCK:
+        cached = _MEM_CACHE.get(digest)
+    if cached is not None:
+        return cached
+    if not opts.engine:
+        # Faithful pre-optimization path: serial exhaustive sweep, memoized
+        # in-process only (matching the original module-level dict cache).
+        result = autotune_reference(gemm, bits, device=device, **kernel_kwargs)
+        with _LOCK:
+            return _MEM_CACHE.setdefault(digest, result)
+    if persistent:
+        data = _STORE.get(digest)
+        if data is not None:
+            try:
+                result = AutotuneResult.from_json(data)
+            except (KeyError, TypeError, ValueError):
+                result = None  # stale/foreign entry: recompute
+            if result is not None and result.gemm == gemm and result.bits == bits:
+                with _LOCK:
+                    _MEM_CACHE.setdefault(digest, result)
+                return _MEM_CACHE[digest]
+
+    space = _legal_candidates(bits, device)
+    if not space:
+        raise _no_legal_tiling_error(gemm, bits, device)
+    result = _search_pruned(
+        gemm, bits, space, device,
+        prune=prune, jobs=jobs, kernel_kwargs=kernel_kwargs,
+    )
+    with _LOCK:
+        result = _MEM_CACHE.setdefault(digest, result)
+    if persistent:
+        _STORE.put(digest, result.to_json())
     return result
 
 

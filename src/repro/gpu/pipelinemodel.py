@@ -79,6 +79,131 @@ def _blocks_per_sm(tiling: TilingParams, bits: int, device: GpuDevice,
 _K_ITER_OVERHEAD = 60.0
 
 
+def _compute_cycles(
+    gemm: GemmShape,
+    bits: int,
+    tiling: TilingParams,
+    device: GpuDevice,
+    *,
+    tensor_core: bool,
+    base_efficiency: float,
+    split_k: int,
+    occupancy: float,
+) -> float:
+    """Tensor-pipe cycles at a given occupancy (shared with the pruning
+    bound, which calls it at ``occupancy=1.0`` — the best case, since the
+    efficiency derate is monotone in occupancy)."""
+    k_pad = ceil_div(gemm.k, tiling.k_tile) * tiling.k_tile
+    k_pad_block = ceil_div(ceil_div(k_pad, split_k), tiling.k_tile) * tiling.k_tile
+    block_macs = tiling.m_tile * tiling.n_tile * k_pad_block
+    rate = device.mac_rate(bits, tensor_core=tensor_core)
+    eff = base_efficiency * (0.35 + 0.65 * occupancy)
+    k_iters = ceil_div(k_pad_block, tiling.k_tile)
+    block_cycles = block_macs / (rate * eff) + k_iters * _K_ITER_OVERHEAD
+    # an SM's concurrent blocks share its tensor pipes, so throughput-wise
+    # blocks serialize per SM; partial waves still pay a full block time
+    blocks = grid_blocks(gemm, tiling) * split_k
+    return ceil_div(blocks, device.sm_count) * block_cycles
+
+
+def _dram_cycles(
+    gemm: GemmShape,
+    bits: int,
+    tiling: TilingParams,
+    device: GpuDevice,
+    *,
+    coalesced: bool,
+    in_place_epilogue: bool,
+    out_elem_bytes: float,
+    split_k: int,
+) -> float:
+    """Global-memory cycles; exact for any tiling (no occupancy term)."""
+    elem = bits / 8
+    m_blocks = ceil_div(gemm.m, tiling.m_tile)
+    n_blocks = ceil_div(gemm.n, tiling.n_tile)
+    a_bytes_once = gemm.m * gemm.k * elem
+    b_bytes_once = gemm.k * gemm.n * elem
+    a_rereads = max(0, n_blocks - 1) * a_bytes_once
+    b_rereads = max(0, m_blocks - 1) * b_bytes_once
+    # re-reads hit L2 when the operand fits there (weights usually do)
+    l2_speedup = 3.0
+    a_reread_cost = a_rereads / (l2_speedup if a_bytes_once <= device.l2_bytes else 1.0)
+    b_reread_cost = b_rereads / (l2_speedup if b_bytes_once <= device.l2_bytes else 1.0)
+    out_bytes = gemm.m * gemm.n * (out_elem_bytes if in_place_epilogue else 4.0)
+    if split_k > 1:
+        # partial int32 tiles written then re-read by the reduction kernel
+        base_blocks = grid_blocks(gemm, tiling)
+        partial = base_blocks * split_k * tiling.m_tile * tiling.n_tile * 4.0
+        out_bytes += 2.0 * partial
+    transaction_derate = 1.0 if coalesced else 4.0
+    dram_bytes = (a_bytes_once + b_bytes_once + a_reread_cost
+                  + b_reread_cost + out_bytes)
+    return dram_bytes * transaction_derate / device.dram_bytes_per_cycle
+
+
+def _launch_cycles(device: GpuDevice, split_k: int) -> float:
+    launch = device.launch_overhead_s * device.clock_hz
+    if split_k > 1:
+        launch *= 2  # the trailing reduction kernel
+    return launch
+
+
+def kernel_lower_bound(
+    gemm: GemmShape,
+    bits: int,
+    tiling: TilingParams,
+    *,
+    device: GpuDevice = TU102,
+    tensor_core: bool = True,
+    double_buffer: bool = True,
+    reorder_smem: bool = True,
+    coalesced: bool = True,
+    in_place_epilogue: bool = True,
+    out_elem_bytes: float = 1.0,
+    base_efficiency: float = 0.55,
+    split_k: int = 1,
+) -> float:
+    """An *admissible* lower bound on ``kernel_time(...).total_cycles``.
+
+    Built from the same term helpers as :func:`kernel_time` so the two
+    cannot drift apart:
+
+    * **compute floor** — the exact compute term evaluated at occupancy
+      1.0 (its best case: the efficiency derate is monotone increasing in
+      occupancy, which ``min(1, ...)`` caps at 1);
+    * **bandwidth floor** — the exact DRAM term, which carries no
+      occupancy dependence at all;
+    * the shared-memory term is bounded below by zero and dropped.
+
+    With the Fig. 6 double buffer the pipelines overlap, so the body is
+    ``max`` of its terms and the bound is ``max(compute_floor, dram)``;
+    without it the body is a sum and the bound tightens to
+    ``compute_floor + dram``.  Either way ``bound <= total_cycles`` for
+    every legal tiling, which is what makes branch-and-bound pruning in
+    :mod:`repro.gpu.autotune` exact: a candidate is discarded only when
+    its bound already exceeds the incumbent's *achieved* time.
+
+    ``reorder_smem`` is accepted (and ignored) so the autotuner can pass
+    its kernel kwargs through unfiltered.
+    """
+    del reorder_smem  # smem term is lower-bounded by 0
+    compute = _compute_cycles(
+        gemm, bits, tiling, device,
+        tensor_core=tensor_core, base_efficiency=base_efficiency,
+        split_k=split_k, occupancy=1.0,
+    )
+    dram = _dram_cycles(
+        gemm, bits, tiling, device,
+        coalesced=coalesced, in_place_epilogue=in_place_epilogue,
+        out_elem_bytes=out_elem_bytes, split_k=split_k,
+    )
+    if double_buffer:
+        body = max(compute, dram)
+    else:
+        body = compute + dram
+    return body + _launch_cycles(device, split_k)
+
+
 def kernel_time(
     gemm: GemmShape,
     bits: int,
@@ -117,42 +242,25 @@ def kernel_time(
         raise TilingError(f"{tiling.describe()}: block does not fit on an SM")
 
     # ---- compute ----------------------------------------------------------
-    k_pad = ceil_div(gemm.k, tiling.k_tile) * tiling.k_tile
-    k_pad_block = ceil_div(ceil_div(k_pad, split_k), tiling.k_tile) * tiling.k_tile
-    block_macs = tiling.m_tile * tiling.n_tile * k_pad_block
-    rate = device.mac_rate(bits, tensor_core=tensor_core)
     # occupancy derate: tensor pipes need warps in flight to stay fed
     warps_resident = bps * tiling.warps_per_block
     occupancy = min(1.0, warps_resident / 16.0)
-    eff = base_efficiency * (0.35 + 0.65 * occupancy)
-    k_iters = ceil_div(k_pad_block, tiling.k_tile)
-    block_cycles = block_macs / (rate * eff) + k_iters * _K_ITER_OVERHEAD
-    # an SM's concurrent blocks share its tensor pipes, so throughput-wise
-    # blocks serialize per SM; partial waves still pay a full block time
-    compute = ceil_div(blocks, device.sm_count) * block_cycles
+    compute = _compute_cycles(
+        gemm, bits, tiling, device,
+        tensor_core=tensor_core, base_efficiency=base_efficiency,
+        split_k=split_k, occupancy=occupancy,
+    )
 
     # ---- dram -------------------------------------------------------------
-    m_blocks = ceil_div(gemm.m, tiling.m_tile)
-    n_blocks = ceil_div(gemm.n, tiling.n_tile)
-    a_bytes_once = gemm.m * gemm.k * elem
-    b_bytes_once = gemm.k * gemm.n * elem
-    a_rereads = max(0, n_blocks - 1) * a_bytes_once
-    b_rereads = max(0, m_blocks - 1) * b_bytes_once
-    # re-reads hit L2 when the operand fits there (weights usually do)
-    l2_speedup = 3.0
-    a_reread_cost = a_rereads / (l2_speedup if a_bytes_once <= device.l2_bytes else 1.0)
-    b_reread_cost = b_rereads / (l2_speedup if b_bytes_once <= device.l2_bytes else 1.0)
-    out_bytes = gemm.m * gemm.n * (out_elem_bytes if in_place_epilogue else 4.0)
-    if split_k > 1:
-        # partial int32 tiles written then re-read by the reduction kernel
-        partial = base_blocks * split_k * tiling.m_tile * tiling.n_tile * 4.0
-        out_bytes += 2.0 * partial
-    transaction_derate = 1.0 if coalesced else 4.0
-    dram_bytes = (a_bytes_once + b_bytes_once + a_reread_cost
-                  + b_reread_cost + out_bytes)
-    dram = dram_bytes * transaction_derate / device.dram_bytes_per_cycle
+    dram = _dram_cycles(
+        gemm, bits, tiling, device,
+        coalesced=coalesced, in_place_epilogue=in_place_epilogue,
+        out_elem_bytes=out_elem_bytes, split_k=split_k,
+    )
 
     # ---- shared memory ----------------------------------------------------
+    k_pad = ceil_div(gemm.k, tiling.k_tile) * tiling.k_tile
+    k_pad_block = ceil_div(ceil_div(k_pad, split_k), tiling.k_tile) * tiling.k_tile
     # every warp re-reads its A/B fragments from the staged tiles: warps in
     # the same block row share B columns and warps in the same column share
     # A rows, so the per-block LDS traffic is (bcw*MTile + brw*NTile)*K
@@ -167,9 +275,7 @@ def kernel_time(
     active_sms = min(blocks, device.sm_count)
     smem = smem_bytes_total / (smem_bw * active_sms)
 
-    launch = device.launch_overhead_s * device.clock_hz
-    if split_k > 1:
-        launch *= 2  # the trailing reduction kernel
+    launch = _launch_cycles(device, split_k)
     return GpuKernelPerf(
         gemm=gemm,
         tiling=tiling,

@@ -134,6 +134,23 @@ def search_space(bits: int, *, device: GpuDevice = TU102) -> Iterator[TilingPara
                         yield t
 
 
+def search_space_size(bits: int) -> int:
+    """Template instantiations the sweep *considers* (before legality).
+
+    The denominator for autotune diagnostics: ``search_space`` yields the
+    legal subset of this grid, and :class:`repro.errors.AutotuneError`
+    reports both numbers when the subset is empty.
+    """
+    _, _, kk = mma_shape(bits)
+    count = 0
+    for k_tile in (kk, kk * 2, kk * 4):
+        for k_step in (kk, kk * 2):
+            if k_tile % k_step:
+                continue
+            count += 1
+    return count * 5 * 5 * 7  # x m_tile x n_tile x warp-grid choices
+
+
 def grid_blocks(gemm: GemmShape, tiling: TilingParams) -> int:
     """Thread blocks launched for a GEMM under a tiling (grid level)."""
     return ceil_div(gemm.m, tiling.m_tile) * ceil_div(gemm.n, tiling.n_tile)

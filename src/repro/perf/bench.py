@@ -1,0 +1,296 @@
+"""Wall-clock benchmark harness: ``python -m repro bench``.
+
+Times the Fig. 10/11 autotune sweep (the dominant cost of the GPU figure
+reproductions) in three phases over an isolated cache directory:
+
+* ``serial``  — the pre-optimization baseline: the original exhaustive
+  single-threaded sweep (``autotune_reference`` semantics), in-process
+  memo only;
+* ``cold``    — the search engine with an *empty* persistent cache:
+  branch-and-bound pruning + parallel candidate evaluation;
+* ``warm``    — the engine again with the persistent cache the cold phase
+  just wrote: every sweep is a content-addressed disk hit.
+
+Each phase regenerates the actual figure data, so besides wall-clock the
+harness asserts the engine changes **nothing**: identical best tilings,
+identical ``best_cycles`` and identical figure series versus the serial
+baseline.  Results (wall-clock, speedups, cache hit rates, candidates
+pruned, equivalence verdicts) are written to ``BENCH_*.json`` so the perf
+trajectory is tracked from PR to PR; ``--smoke`` runs a three-layer sweep
+for CI.  An ``arm`` section times the Fig. 7 reproduction cold vs warm
+through the persistent static-schedule cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import tempfile
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..perf.cache import CACHE_DIR_ENV
+from ..perf.parallel import resolve_jobs
+
+#: bump when the BENCH_*.json layout changes
+SCHEMA_VERSION = 1
+
+DEFAULT_OUT_DIR = pathlib.Path("benchmarks") / "out"
+
+
+# ---------------------------------------------------------------------------
+# Phase plumbing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PhaseReport:
+    """Everything measured while reproducing the sweep once."""
+
+    name: str
+    seconds: float
+    cache: dict = field(default_factory=dict)
+    candidates: int = 0
+    evaluated: int = 0
+    pruned: int = 0
+    #: per "<layer>/<bits>b": [tiling description, best_cycles]
+    best: dict[str, list] = field(default_factory=dict)
+    #: per figure name: {series name: [values...]}
+    series: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "seconds": round(self.seconds, 6),
+            "cache": self.cache,
+            "candidates": self.candidates,
+            "evaluated": self.evaluated,
+            "pruned": self.pruned,
+            "pruned_fraction": (
+                round(self.pruned / self.candidates, 4) if self.candidates else 0.0
+            ),
+        }
+
+
+@contextmanager
+def _isolated_cache_dir(cache_dir: str | os.PathLike | None):
+    """Point ``REPRO_CACHE_DIR`` at ``cache_dir`` (or a fresh temp dir)."""
+    prev = os.environ.get(CACHE_DIR_ENV)
+
+    def _set(value: str | None) -> None:
+        if value is None:
+            os.environ.pop(CACHE_DIR_ENV, None)
+        else:
+            os.environ[CACHE_DIR_ENV] = value
+
+    if cache_dir is not None:
+        try:
+            pathlib.Path(cache_dir).mkdir(parents=True, exist_ok=True)
+        except OSError:
+            pass  # unusable dir degrades to cache misses, never a crash
+        _set(str(cache_dir))
+        try:
+            yield pathlib.Path(cache_dir)
+        finally:
+            _set(prev)
+        return
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        _set(tmp)
+        try:
+            yield pathlib.Path(tmp)
+        finally:
+            _set(prev)
+
+
+def _figure_series(data) -> dict[str, list[float]]:
+    out = {s.name: list(s.values) for s in data.series}
+    out[data.baseline_label] = list(data.baseline_times)
+    return out
+
+
+def _gpu_sweep_items(model: str, batch: int, smoke: bool):
+    from ..figures import GPU_BITS
+    from ..models import get_model_layers
+
+    layers = get_model_layers(model, batch=batch)
+    if smoke:
+        layers = layers[:3]
+    return [(spec, bits) for spec in layers for bits in GPU_BITS]
+
+
+def _run_gpu_phase(
+    name: str,
+    *,
+    model: str,
+    batch: int,
+    smoke: bool,
+    jobs: int | None,
+    engine: bool,
+    persistent: bool,
+) -> PhaseReport:
+    from ..figures import fig10_gpu_speedups, fig11_gpu_autotune
+    from ..gpu.autotune import (
+        autotune_conv,
+        autotune_options,
+        cache_store,
+        clear_cache,
+    )
+
+    clear_cache()  # in-process memo only; the disk store is the subject
+    store = cache_store()
+    store.reset_stats()
+    items = _gpu_sweep_items(model, batch, smoke)
+
+    report = PhaseReport(name=name, seconds=0.0)
+    t0 = time.perf_counter()
+    with autotune_options(engine=engine, persistent=persistent, jobs=jobs):
+        if smoke:
+            for spec, bits in items:
+                autotune_conv(spec, bits)
+        else:
+            report.series[f"fig10[{model},b{batch}]"] = _figure_series(
+                fig10_gpu_speedups(model, batch=batch))
+            report.series[f"fig11[{model},b{batch}]"] = _figure_series(
+                fig11_gpu_autotune(model, batch=batch))
+        report.seconds = time.perf_counter() - t0
+
+        # collected after the clock stops: every call below is a memo hit
+        for spec, bits in items:
+            res = autotune_conv(spec, bits)
+            report.best[f"{spec.name}/{bits}b"] = [
+                res.best.describe(), res.best_cycles
+            ]
+            report.candidates += res.candidates
+            report.evaluated += res.evaluated
+            report.pruned += res.pruned
+    report.cache = store.stats.as_dict()
+    return report
+
+
+def _run_arm_phase(name: str, *, model: str, jobs: int | None) -> PhaseReport:
+    from ..arm.cost_model import clear_schedule_cache, schedule_store
+    from ..figures import fig7_arm_speedups
+
+    clear_schedule_cache()
+    store = schedule_store()
+    store.reset_stats()
+    del jobs  # the fig7 prewarm resolves REPRO_JOBS itself
+    report = PhaseReport(name=name, seconds=0.0)
+    t0 = time.perf_counter()
+    data = fig7_arm_speedups(model)
+    report.seconds = time.perf_counter() - t0
+    report.series[f"fig7[{model}]"] = _figure_series(data)
+    report.cache = store.stats.as_dict()
+    return report
+
+
+# ---------------------------------------------------------------------------
+# The harness
+# ---------------------------------------------------------------------------
+
+
+def _equal_series(a: dict, b: dict) -> bool:
+    return a == b  # exact float equality is the point: bit-for-bit series
+
+
+def run_bench(
+    *,
+    model: str = "resnet50",
+    batch: int = 1,
+    smoke: bool = False,
+    jobs: int | None = None,
+    out_dir: str | os.PathLike = DEFAULT_OUT_DIR,
+    cache_dir: str | os.PathLike | None = None,
+    arm: bool = True,
+    echo: Callable[[str], None] = print,
+) -> pathlib.Path:
+    """Run the three-phase bench and write ``BENCH_*.json``; returns the
+    report path.  ``cache_dir=None`` uses a throwaway temp dir so the run
+    is hermetic; pass a directory to keep the warm cache around."""
+    t_start = time.time()
+    with _isolated_cache_dir(cache_dir):
+        serial = _run_gpu_phase(
+            "serial", model=model, batch=batch, smoke=smoke, jobs=1,
+            engine=False, persistent=False,
+        )
+        cold = _run_gpu_phase(
+            "cold", model=model, batch=batch, smoke=smoke, jobs=jobs,
+            engine=True, persistent=True,
+        )
+        warm = _run_gpu_phase(
+            "warm", model=model, batch=batch, smoke=smoke, jobs=jobs,
+            engine=True, persistent=True,
+        )
+        arm_section = None
+        if arm and not smoke:
+            arm_cold = _run_arm_phase("arm-cold", model=model, jobs=jobs)
+            arm_warm = _run_arm_phase("arm-warm", model=model, jobs=jobs)
+            arm_section = {
+                "cold": arm_cold.as_dict(),
+                "warm": arm_warm.as_dict(),
+                "speedup_warm": round(arm_cold.seconds / arm_warm.seconds, 3)
+                if arm_warm.seconds else None,
+                "identical_series": _equal_series(arm_cold.series, arm_warm.series),
+            }
+
+    identical_best = serial.best == cold.best == warm.best
+    identical_series = (_equal_series(serial.series, cold.series)
+                        and _equal_series(serial.series, warm.series))
+    speedup_cold = serial.seconds / cold.seconds if cold.seconds else None
+    speedup_warm = serial.seconds / warm.seconds if warm.seconds else None
+
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "kind": "smoke" if smoke else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(t_start)),
+        "host": {"python": platform.python_version(),
+                 "platform": platform.platform(),
+                 "cpus": os.cpu_count()},
+        "model": model,
+        "batch": batch,
+        "jobs": resolve_jobs(jobs),
+        "gpu_autotune": {
+            "serial": serial.as_dict(),
+            "cold": cold.as_dict(),
+            "warm": warm.as_dict(),
+            "speedup_cold": round(speedup_cold, 3) if speedup_cold else None,
+            "speedup_warm": round(speedup_warm, 3) if speedup_warm else None,
+            "identical_best": identical_best,
+            "identical_series": identical_series,
+        },
+        "arm_schedule": arm_section,
+    }
+
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    suffix = "smoke" if smoke else f"{model}_b{batch}"
+    path = out_dir / f"BENCH_autotune_{suffix}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    g = payload["gpu_autotune"]
+    echo(f"== bench: {model} batch {batch}"
+         f"{' (smoke)' if smoke else ''} ==")
+    echo(f"serial baseline : {serial.seconds:8.3f} s "
+         f"({serial.evaluated} profile runs)")
+    echo(f"engine cold     : {cold.seconds:8.3f} s  "
+         f"speedup {g['speedup_cold']}x  "
+         f"(pruned {cold.pruned}/{cold.candidates} candidates)")
+    echo(f"engine warm     : {warm.seconds:8.3f} s  "
+         f"speedup {g['speedup_warm']}x  "
+         f"(cache hit rate {warm.cache.get('hit_rate', 0.0):.0%})")
+    echo(f"identical best tilings: {identical_best}   "
+         f"identical figure series: {identical_series}")
+    if arm_section:
+        echo(f"arm fig7 cold/warm: {arm_section['cold']['seconds']:.3f} s / "
+             f"{arm_section['warm']['seconds']:.3f} s "
+             f"(speedup {arm_section['speedup_warm']}x)")
+    echo(f"wrote {path}")
+    if not (identical_best and identical_series):
+        raise AssertionError(
+            "bench equivalence check failed: engine results differ from the "
+            f"serial baseline (see {path})"
+        )
+    return path

@@ -1,0 +1,149 @@
+"""Deterministic parallel fan-out for candidate sweeps.
+
+The autotuner and the figure generators evaluate many independent pure
+functions (cost-model calls).  :class:`ParallelRunner` fans those out over
+a ``concurrent.futures`` executor and merges results **by input index**,
+so the output is bit-for-bit identical to a serial loop no matter how many
+workers run or in which order futures complete.  Anything that must stay
+deterministic (chunk boundaries, tie-breaking) is therefore decided by the
+caller's input order alone, never by scheduling.
+
+Worker-count resolution (first match wins):
+
+1. explicit ``jobs=`` argument,
+2. the ``REPRO_JOBS`` environment variable,
+3. ``os.cpu_count()``.
+
+``jobs=1`` (or an unparsable override) degrades to a plain in-process
+loop — no executor, no threads — which is also the fallback whenever an
+executor cannot be created.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: environment variable overriding the worker count
+JOBS_ENV = "REPRO_JOBS"
+#: environment variable selecting the executor kind ("thread" | "process")
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+_MAX_DEFAULT_JOBS = 8
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """The effective worker count: arg > ``REPRO_JOBS`` > cpu count."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                jobs = 1
+    if jobs is None:
+        jobs = min(os.cpu_count() or 1, _MAX_DEFAULT_JOBS)
+    return max(1, jobs)
+
+
+class ParallelRunner:
+    """Order-preserving ``map`` over a worker pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count; ``None`` resolves via :func:`resolve_jobs`.
+    mode:
+        ``"thread"`` (default), ``"process"`` or ``"serial"``; ``None``
+        reads ``REPRO_EXECUTOR``.  Process mode requires picklable
+        functions and is only worth it for very coarse work items; the
+        shared-memory thread mode is the default because every consumer
+        here mutates in-process memo caches.
+    """
+
+    def __init__(self, jobs: int | None = None, *, mode: str | None = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        if mode is None:
+            mode = os.environ.get(EXECUTOR_ENV, "").strip() or "thread"
+        if mode not in ("thread", "process", "serial"):
+            raise ValueError(f"unknown executor mode {mode!r}")
+        self.mode = "serial" if self.jobs == 1 else mode
+
+    # -- internals ----------------------------------------------------------
+
+    def _executor(self) -> Executor:
+        if self.mode == "process":
+            return ProcessPoolExecutor(max_workers=self.jobs)
+        return ThreadPoolExecutor(max_workers=self.jobs)
+
+    @staticmethod
+    def _chunks(n: int, chunksize: int) -> Iterable[range]:
+        for start in range(0, n, chunksize):
+            yield range(start, min(start + chunksize, n))
+
+    # -- API ----------------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        *,
+        chunksize: int | None = None,
+    ) -> list[R]:
+        """``[fn(x) for x in items]`` with deterministic ordering.
+
+        Results are returned in input order regardless of completion
+        order; the first exception raised by any work item propagates
+        (lowest input index wins, again for determinism).  ``chunksize``
+        only batches executor round-trips; it never changes results.
+        """
+        items = list(items)
+        n = len(items)
+        if n == 0:
+            return []
+        if self.mode == "serial" or n == 1:
+            return [fn(x) for x in items]
+        if chunksize is None:
+            chunksize = max(1, n // (self.jobs * 4))
+        out: list[R] = [None] * n  # type: ignore[list-item]
+        try:
+            pool = self._executor()
+        except OSError:  # sandboxes without threads/processes
+            return [fn(x) for x in items]
+        if self.mode == "process":
+            # Executor.map already yields in input order; fn must pickle.
+            with pool:
+                return list(pool.map(fn, items, chunksize=chunksize))
+        with pool:
+            def run_chunk(idx: range) -> list[R]:
+                return [fn(items[i]) for i in idx]
+
+            futures = [(idx, pool.submit(run_chunk, idx))
+                       for idx in self._chunks(n, chunksize)]
+            pending_error: tuple[int, BaseException] | None = None
+            for idx, fut in futures:
+                try:
+                    res = fut.result()
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    if pending_error is None or idx.start < pending_error[0]:
+                        pending_error = (idx.start, exc)
+                    continue
+                for i, r in zip(idx, res):
+                    out[i] = r
+            if pending_error is not None:
+                raise pending_error[1]
+        return out
+
+    def starmap(
+        self,
+        fn: Callable[..., R],
+        items: Sequence[tuple],
+        *,
+        chunksize: int | None = None,
+    ) -> list[R]:
+        """:meth:`map` with argument tuples unpacked into ``fn``."""
+        return self.map(lambda args: fn(*args), items, chunksize=chunksize)

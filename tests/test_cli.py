@@ -53,6 +53,20 @@ def test_kernel_sdot(capsys):
     assert "SDOT_4S_LANE" in out
 
 
+def test_bench_smoke(tmp_path, capsys):
+    assert main(["bench", "--smoke", "--no-arm",
+                 "--out", str(tmp_path),
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    out = capsys.readouterr().out
+    assert "identical best tilings: True" in out
+    report = tmp_path / "BENCH_autotune_smoke.json"
+    assert report.is_file()
+    import json
+
+    data = json.loads(report.read_text())
+    assert data["gpu_autotune"]["identical_series"] is True
+
+
 def test_bad_command():
     with pytest.raises(SystemExit):
         main(["not-a-command"])
