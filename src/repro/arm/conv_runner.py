@@ -21,6 +21,7 @@ import numpy as np
 from ..conv.im2col import im2col, output_from_gemm, weight_matrix
 from ..conv.padding import pack_gemm_operands
 from ..errors import ShapeError, UnsupportedBitsError
+from ..obs import metrics as obs_metrics
 from ..types import ConvSpec, GemmShape, Layout
 from ..util import ceil_div, round_up
 from .cost_model import (
@@ -207,7 +208,7 @@ def time_arm_conv(
                           + (im2col_bytes if im2col_bytes else 0)) / groups,
     )
 
-    return ArmConvPerf(
+    perf = ArmConvPerf(
         spec_name=spec.name,
         scheme=scheme,
         bits=bits,
@@ -219,6 +220,11 @@ def time_arm_conv(
         overhead_cycles=machine.layer_overhead_cycles,
         quant_cycles=_quant_pass_cycles(spec, machine),
     )
+    # per-layer cycle entry from the ARM cost model (profile surface)
+    obs_metrics.gauge(
+        "arm_layer_cycles", layer=spec.name, bits=bits, scheme=scheme
+    ).set(perf.total_cycles)
+    return perf
 
 
 def ncnn_conv_cycles(

@@ -22,6 +22,9 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from ..errors import UnsupportedBitsError
+from ..obs import log as obs_log
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..perf.cache import PersistentCache, code_fingerprint, stable_hash
 from ..types import ConvSpec
 from .pipeline import A53_COST_TABLE, CostTable, PipelineModel, PipelineResult
@@ -142,11 +145,22 @@ def _schedule_result(
     data = _SCHEDULE_STORE.get(digest)
     if data is not None:
         try:
-            return PipelineResult.from_json(data)
-        except (KeyError, TypeError, ValueError):
-            pass  # stale/corrupt entry: reschedule below
-    kern = _generate(scheme, bits, k, interleave, round_steps)
-    result = PipelineModel(A53_COST_TABLE).schedule(kern.stream)
+            result = PipelineResult.from_json(data)
+            obs_metrics.counter("arm_schedules", outcome="store_hit").inc()
+            return result
+        except (KeyError, TypeError, ValueError) as exc:
+            # stale/corrupt entry: reschedule below
+            obs_log.debug(
+                "arm_schedule_cache_stale",
+                logger="repro.arm.cost_model",
+                digest=digest[:16], error=type(exc).__name__,
+            )
+    with obs_trace.span(
+        "arm.schedule", scheme=scheme, bits=bits, k=k, interleave=interleave
+    ):
+        kern = _generate(scheme, bits, k, interleave, round_steps)
+        result = PipelineModel(A53_COST_TABLE).schedule(kern.stream)
+    obs_metrics.counter("arm_schedules", outcome="computed").inc()
     _SCHEDULE_STORE.put(digest, result.to_json())
     return result
 

@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..errors import SimulationError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .isa import ACCUM_OPS, Instr, LOAD_OPS, STORE_OPS
 
 
@@ -222,10 +224,19 @@ class PipelineModel:
             mem_busy,
             neon_busy,
         )
-        return PipelineResult(
+        result = PipelineResult(
             cycles=total,
             instructions=instructions,
             mem_busy=mem_busy,
             neon_busy=neon_busy,
             stall_cycles=max(0, total - min_possible),
         )
+        if obs_trace.active():
+            # per-stream scheduling detail, gated: schedule() sits behind
+            # the persistent memo but still runs for every novel stream
+            obs_metrics.counter("arm_pipeline_streams").inc()
+            obs_metrics.counter("arm_pipeline_instructions").inc(instructions)
+            obs_metrics.histogram("arm_pipeline_cycles").observe(total)
+            obs_metrics.histogram("arm_pipeline_stalls").observe(
+                result.stall_cycles)
+        return result

@@ -17,6 +17,10 @@ Commands
     Time the Fig. 10/11 autotune sweep (serial baseline vs the pruned/
     parallel/cached engine, cold and warm), verify bit-identical results,
     and write ``BENCH_*.json`` (see :mod:`repro.perf.bench`).
+``profile <target> [--trace out.json] [--metrics out.json]``
+    Run one figure (or a whole model) under the :mod:`repro.obs` tracer
+    and metrics registry; print a text summary and optionally write a
+    Chrome/Perfetto trace and a metrics snapshot.
 """
 
 from __future__ import annotations
@@ -121,11 +125,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
             out_dir=args.out if args.out else DEFAULT_OUT_DIR,
             cache_dir=args.cache_dir,
             arm=not args.no_arm,
+            trace_path=args.trace,
+            metrics_path=args.metrics,
         )
     except AssertionError as exc:
         print(f"bench FAILED: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from .obs.report import run_profile
+
+    return run_profile(
+        args.target,
+        model=args.model,
+        batch=args.batch,
+        trace_path=args.trace,
+        metrics_path=args.metrics,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -178,7 +196,27 @@ def build_parser() -> argparse.ArgumentParser:
                     help="persistent cache dir (default: throwaway temp dir)")
     bp.add_argument("--no-arm", action="store_true",
                     help="skip the ARM schedule-cache section")
+    bp.add_argument("--trace", default=None, metavar="OUT.json",
+                    help="also record a Chrome/Perfetto trace of the run")
+    bp.add_argument("--metrics", default=None, metavar="OUT.json",
+                    help="also write the metrics snapshot standalone")
     bp.set_defaults(fn=cmd_bench)
+
+    pp = sub.add_parser(
+        "profile",
+        help="run one artifact under the tracer/metrics and summarize")
+    pp.add_argument("target",
+                    help="fig7..fig17, tab1, or a model name "
+                         "(resnet50, scr-resnet50, densenet121)")
+    pp.add_argument("--model", default="resnet50",
+                    choices=["resnet50", "scr-resnet50", "densenet121"],
+                    help="model for figure targets that take one")
+    pp.add_argument("--batch", type=int, default=1)
+    pp.add_argument("--trace", default=None, metavar="OUT.json",
+                    help="write a Chrome trace_event file (Perfetto-loadable)")
+    pp.add_argument("--metrics", default=None, metavar="OUT.json",
+                    help="write the metrics registry snapshot as JSON")
+    pp.set_defaults(fn=cmd_profile)
     return p
 
 

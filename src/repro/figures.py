@@ -11,6 +11,7 @@ Speedup conventions match the paper's bars: values are
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from .analysis.report import Series
@@ -25,11 +26,23 @@ from .gpu.fusion import fusion_speedups
 from .gpu.pipelinemodel import conv_time
 from .gpu.tiling import default_tiling
 from .models import get_model_layers
+from .obs import trace as obs_trace
 from .perf.parallel import ParallelRunner
 from .types import ConvSpec
 
 ARM_BITS = tuple(range(2, 9))
 GPU_BITS = (8, 4)
+
+
+def _traced(fn):
+    """Wrap a figure generator in a tracer span (no-op while disabled)."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with obs_trace.span(f"figure.{fn.__name__}", cat="figure"):
+            return fn(*args, **kwargs)
+
+    return wrapper
 
 
 def _prewarm(fn, items, *, jobs: int | None = None) -> None:
@@ -43,7 +56,8 @@ def _prewarm(fn, items, *, jobs: int | None = None) -> None:
     """
     items = list(items)
     if len(items) > 1:
-        ParallelRunner(jobs).map(fn, items)
+        with obs_trace.span("figure.prewarm", cat="figure", items=len(items)):
+            ParallelRunner(jobs).map(fn, items)
 
 
 @dataclass(frozen=True)
@@ -68,6 +82,7 @@ class FigureData:
 # ---------------------------------------------------------------------------
 
 
+@_traced
 def fig7_arm_speedups(model: str = "resnet50", *, batch: int = 1) -> FigureData:
     """Fig. 7 (and Fig. 14/15 with other models): our 2~8-bit conv kernels
     vs the ncnn 8-bit baseline, per layer."""
@@ -91,6 +106,7 @@ def fig7_arm_speedups(model: str = "resnet50", *, batch: int = 1) -> FigureData:
     )
 
 
+@_traced
 def fig8_arm_winograd(model: str = "resnet50") -> FigureData:
     """Fig. 8: GEMM-based vs winograd-based kernels at 4~6-bit on the
     3x3/s1 layers, against the ncnn baseline."""
@@ -117,6 +133,7 @@ def fig8_arm_winograd(model: str = "resnet50") -> FigureData:
     )
 
 
+@_traced
 def fig9_arm_popcount(model: str = "resnet50") -> FigureData:
     """Fig. 9: our 2-bit kernels vs the TVM popcount A2W2 baseline."""
     layers = get_model_layers(model)
@@ -135,6 +152,7 @@ def fig9_arm_popcount(model: str = "resnet50") -> FigureData:
     )
 
 
+@_traced
 def fig13_space_overhead(model: str = "resnet50") -> FigureData:
     """Fig. 13: im2col and pad/pack space overheads per layer."""
     layers = get_model_layers(model)
@@ -166,6 +184,7 @@ def fig15_arm_scr() -> FigureData:
 # ---------------------------------------------------------------------------
 
 
+@_traced
 def fig10_gpu_speedups(model: str = "resnet50", *, batch: int = 1) -> FigureData:
     """Fig. 10 (and Fig. 16/17): our 4/8-bit kernels and TensorRT vs the
     cuDNN dp4a baseline."""
@@ -194,6 +213,7 @@ def fig10_gpu_speedups(model: str = "resnet50", *, batch: int = 1) -> FigureData
     )
 
 
+@_traced
 def fig11_gpu_autotune(model: str = "resnet50", *, batch: int = 1) -> FigureData:
     """Fig. 11: performance with profile-run tiling search over defaults."""
     layers = get_model_layers(model, batch=batch)
@@ -217,6 +237,7 @@ def fig11_gpu_autotune(model: str = "resnet50", *, batch: int = 1) -> FigureData
     )
 
 
+@_traced
 def fig12_gpu_fusion(model: str = "resnet50", *, batch: int = 1) -> FigureData:
     """Fig. 12: conv+dequant and conv+ReLU fusion speedups (8-bit)."""
     layers = get_model_layers(model, batch=batch)

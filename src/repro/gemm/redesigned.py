@@ -51,8 +51,10 @@ def gemm_redesigned(
                 if counter is not None:
                     counter.load(i1 - i0)  # one LD1 per column chunk
                     # one LD4R covers up to 4 replicated elements
-                    counter.loads += -(-(j1 - j0) // 4)
+                    counter.load_replicated(j1 - j0)
                     counter.mac((i1 - i0) * (j1 - j0))
                 acc += v_a[:, None] * v_b[None, :]  # Buffer C accumulate
             c[i0:i1, j0:j1] = acc
+    if counter is not None:
+        counter.publish("redesigned")
     return c

@@ -13,21 +13,44 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ShapeError
+from ..obs import metrics as obs_metrics
 
 
 @dataclass
 class AccessCounter:
-    """Counts SIMD-granularity load and MAC events of a GEMM walk."""
+    """Counts SIMD-granularity load and MAC events of a GEMM walk.
+
+    All mutation goes through the three event methods — callers never poke
+    the tallies directly — so every GEMM walker charges events through one
+    auditable API and :meth:`publish` can route totals into the
+    :mod:`repro.obs.metrics` registry.
+    """
 
     simd_width: int = 16
     loads: int = 0
     macs_instr: int = 0
 
     def load(self, n_elems: int) -> None:
+        """One contiguous SIMD load per ``simd_width`` elements (LD1)."""
         self.loads += -(-n_elems // self.simd_width)
+
+    def load_replicated(self, n_elems: int, *, lanes: int = 4) -> None:
+        """Replicating loads: one LD4R-style instruction covers ``lanes``
+        broadcast elements regardless of SIMD width (Fig. 1b Buffer B)."""
+        self.loads += -(-n_elems // lanes)
 
     def mac(self, n_elems: int) -> None:
         self.macs_instr += -(-n_elems // self.simd_width)
+
+    @property
+    def total_instr(self) -> int:
+        return self.loads + self.macs_instr
+
+    def publish(self, kind: str) -> None:
+        """Add this walk's totals to the process metrics registry under
+        ``gemm_loads{kind=...}`` / ``gemm_macs{kind=...}``."""
+        obs_metrics.counter("gemm_loads", kind=kind).inc(self.loads)
+        obs_metrics.counter("gemm_macs", kind=kind).inc(self.macs_instr)
 
 
 def gemm_traditional(
@@ -59,4 +82,6 @@ def gemm_traditional(
                 counter.load(k)  # B column chunk loads
                 counter.mac(k)
             c[i, j] = np.dot(row, col)
+    if counter is not None:
+        counter.publish("traditional")
     return c

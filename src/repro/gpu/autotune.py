@@ -36,6 +36,9 @@ import threading
 from dataclasses import dataclass
 
 from ..errors import AutotuneError
+from ..obs import log as obs_log
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..perf.cache import PersistentCache, code_fingerprint, stable_hash
 from ..perf.parallel import ParallelRunner
 from ..types import ConvSpec, GemmShape
@@ -262,40 +265,63 @@ def _search_pruned(
     (ties are resolved by original candidate index, exactly like the
     serial loop's strict-improvement scan).
     """
-    bounds = [
-        kernel_lower_bound(gemm, bits, t, device=device, **kernel_kwargs)
-        for t in space
-    ]
-    order = sorted(range(len(space)), key=lambda i: (bounds[i], i))
-    runner = ParallelRunner(jobs)
+    with obs_trace.span(
+        "autotune.search",
+        gemm=f"{gemm.m}x{gemm.k}x{gemm.n}", bits=bits, candidates=len(space),
+    ):
+        bounds = [
+            kernel_lower_bound(gemm, bits, t, device=device, **kernel_kwargs)
+            for t in space
+        ]
+        order = sorted(range(len(space)), key=lambda i: (bounds[i], i))
+        runner = ParallelRunner(jobs)
 
-    def profile(i: int) -> GpuKernelPerf:
-        return kernel_time(gemm, bits, space[i], device=device, **kernel_kwargs)
+        def profile(i: int) -> GpuKernelPerf:
+            return kernel_time(gemm, bits, space[i], device=device, **kernel_kwargs)
 
-    best_key: tuple[float, int] | None = None
-    best_perf: GpuKernelPerf | None = None
-    evaluated = 0
-    pos = 0
-    while pos < len(order):
-        if prune and best_key is not None and bounds[order[pos]] > best_key[0]:
-            break  # sorted bounds: every remaining candidate is slower
-        chunk = order[pos:pos + _CHUNK]
-        pos += len(chunk)
-        for i, perf in zip(chunk, runner.map(profile, chunk, chunksize=4)):
-            evaluated += 1
-            key = (perf.total_cycles, i)
-            if best_key is None or key < best_key:
-                best_key, best_perf = key, perf
-    assert best_perf is not None  # space is non-empty
-    return AutotuneResult(
-        gemm=gemm,
-        bits=bits,
-        best=best_perf.tiling,
-        best_perf=best_perf,
-        candidates=len(space),
-        evaluated=evaluated,
-        pruned=len(space) - evaluated,
-    )
+        # per-candidate bound-gap detail only while a tracer is installed:
+        # observing one histogram per profile run is wasted work otherwise
+        observe_gaps = obs_trace.active()
+        best_key: tuple[float, int] | None = None
+        best_perf: GpuKernelPerf | None = None
+        evaluated = 0
+        pos = 0
+        while pos < len(order):
+            if prune and best_key is not None and bounds[order[pos]] > best_key[0]:
+                break  # sorted bounds: every remaining candidate is slower
+            chunk = order[pos:pos + _CHUNK]
+            pos += len(chunk)
+            for i, perf in zip(chunk, runner.map(profile, chunk, chunksize=4)):
+                evaluated += 1
+                if observe_gaps:
+                    obs_metrics.histogram(
+                        "autotune_bound_gap_cycles", bits=bits
+                    ).observe(perf.total_cycles - bounds[i])
+                key = (perf.total_cycles, i)
+                if best_key is None or key < best_key:
+                    best_key, best_perf = key, perf
+        assert best_perf is not None  # space is non-empty
+        result = AutotuneResult(
+            gemm=gemm,
+            bits=bits,
+            best=best_perf.tiling,
+            best_perf=best_perf,
+            candidates=len(space),
+            evaluated=evaluated,
+            pruned=len(space) - evaluated,
+        )
+    _count_sweep(result, engine="pruned")
+    return result
+
+
+def _count_sweep(result: AutotuneResult, *, engine: str) -> None:
+    """Aggregate sweep tallies (once per profile sweep — never per item)."""
+    obs_metrics.counter("autotune_sweeps", engine=engine).inc()
+    obs_metrics.counter("autotune_candidates", engine=engine).inc(
+        result.candidates)
+    obs_metrics.counter("autotune_evaluated", engine=engine).inc(
+        result.evaluated)
+    obs_metrics.counter("autotune_pruned", engine=engine).inc(result.pruned)
 
 
 def autotune_reference(
@@ -311,17 +337,22 @@ def autotune_reference(
     best: TilingParams | None = None
     best_perf: GpuKernelPerf | None = None
     count = 0
-    for tiling in search_space(bits, device=device):
-        count += 1
-        perf = kernel_time(gemm, bits, tiling, device=device, **kernel_kwargs)
-        if best_perf is None or perf.total_cycles < best_perf.total_cycles:
-            best, best_perf = tiling, perf
+    with obs_trace.span(
+        "autotune.reference", gemm=f"{gemm.m}x{gemm.k}x{gemm.n}", bits=bits
+    ):
+        for tiling in search_space(bits, device=device):
+            count += 1
+            perf = kernel_time(gemm, bits, tiling, device=device, **kernel_kwargs)
+            if best_perf is None or perf.total_cycles < best_perf.total_cycles:
+                best, best_perf = tiling, perf
     if best is None or best_perf is None:
         raise _no_legal_tiling_error(gemm, bits, device)
-    return AutotuneResult(
+    result = AutotuneResult(
         gemm=gemm, bits=bits, best=best, best_perf=best_perf,
         candidates=count, evaluated=count, pruned=0,
     )
+    _count_sweep(result, engine="reference")
+    return result
 
 
 def autotune(
@@ -368,8 +399,13 @@ def autotune(
         if data is not None:
             try:
                 result = AutotuneResult.from_json(data)
-            except (KeyError, TypeError, ValueError):
+            except (KeyError, TypeError, ValueError) as exc:
                 result = None  # stale/foreign entry: recompute
+                obs_log.debug(
+                    "autotune_cache_stale",
+                    logger="repro.gpu.autotune",
+                    digest=digest[:16], error=type(exc).__name__,
+                )
             if result is not None and result.gemm == gemm and result.bits == bits:
                 with _LOCK:
                     _MEM_CACHE.setdefault(digest, result)
@@ -392,4 +428,9 @@ def autotune(
 def autotune_conv(
     spec: ConvSpec, bits: int, *, device: GpuDevice = TU102, **kernel_kwargs
 ) -> AutotuneResult:
-    return autotune(conv_gemm_shape(spec), bits, device=device, **kernel_kwargs)
+    result = autotune(conv_gemm_shape(spec), bits, device=device, **kernel_kwargs)
+    # per-layer cycle entry for the profile/metrics surface (idempotent)
+    obs_metrics.gauge(
+        "gpu_layer_cycles", layer=spec.name, bits=bits
+    ).set(result.best_cycles)
+    return result

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import TilingError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..types import ConvSpec, GemmShape
 from ..util import ceil_div
 from .device import GpuDevice, TU102
@@ -276,6 +278,10 @@ def kernel_time(
     smem = smem_bytes_total / (smem_bw * active_sms)
 
     launch = _launch_cycles(device, split_k)
+    if obs_trace.active():
+        # one profile run of the pipeline model; per-call detail is gated
+        # because this is the autotuner's innermost hot function
+        obs_metrics.counter("gpu_profile_runs", bits=bits).inc()
     return GpuKernelPerf(
         gemm=gemm,
         tiling=tiling,
@@ -306,4 +312,9 @@ def conv_time(
 ) -> GpuKernelPerf:
     """Kernel time for a convolution layer (thin wrapper over
     :func:`kernel_time` on the layer's implicit-GEMM shape)."""
-    return kernel_time(conv_gemm_shape(spec), bits, tiling, **kwargs)
+    perf = kernel_time(conv_gemm_shape(spec), bits, tiling, **kwargs)
+    # per-layer cycle entry from the GPU pipeline model (profile surface)
+    obs_metrics.gauge(
+        "gpu_conv_cycles", layer=spec.name, bits=bits
+    ).set(perf.total_cycles)
+    return perf

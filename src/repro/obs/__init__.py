@@ -1,0 +1,44 @@
+"""Observability layer: tracing, metrics and structured logging.
+
+Everything the paper claims rests on measurement — instruction mixes
+(Fig. 1/3), profile runs (Sec. 4.5), per-layer speedups (Fig. 7-9) — so
+the reproduction carries its own instrumentation:
+
+* :mod:`repro.obs.trace` — a span-based tracer (``trace.span("autotune",
+  bits=4)`` context managers, nestable, thread-safe) exporting Chrome
+  ``trace_event`` JSON viewable in ``chrome://tracing`` / Perfetto.  A
+  **no-op by default**: until a tracer is installed (``trace.capture()``,
+  ``python -m repro profile``), ``span()`` returns a shared null context
+  manager and hot paths pay one global read;
+* :mod:`repro.obs.metrics` — a process-wide registry of labeled counters,
+  gauges and histograms.  Coarse, always-on events (cache hits/misses,
+  autotune candidates evaluated/pruned, per-layer cycle gauges) cost one
+  dict update each; per-candidate detail (bound gaps, worker timings) is
+  gated on :func:`trace.active` so the disabled path stays free;
+* :mod:`repro.obs.log` — an env-gated structured logger
+  (``REPRO_LOG=debug|info|warning``) that turns the library's silent
+  degradation paths (corrupt cache entries, stale persisted results,
+  executor fallbacks) into key=value events on stderr.  Without the env
+  var set, records still propagate to :mod:`logging` (so tests and host
+  applications can capture them) but nothing is printed.
+
+The reporting surface is ``python -m repro profile <figure|model>``
+(:mod:`repro.obs.report`), which runs one artifact under a fresh tracer +
+metrics window and emits a text summary plus ``--trace``/``--metrics``
+JSON files.
+"""
+
+from __future__ import annotations
+
+from . import log, metrics, trace
+from .trace import Tracer, active, capture, span
+
+__all__ = [
+    "trace",
+    "metrics",
+    "log",
+    "Tracer",
+    "active",
+    "capture",
+    "span",
+]

@@ -1,0 +1,185 @@
+"""``python -m repro profile`` — run one artifact under full observability.
+
+Runs a figure (``fig7``..``fig17``, ``tab1``) or a whole model
+(``resnet50`` | ``scr-resnet50`` | ``densenet121``, priced end-to-end on
+both simulated backends) inside a fresh tracer + metrics window, then
+reports:
+
+* a text summary — wall time, span totals by name, cache hit/miss rates,
+  autotune evaluated/pruned tallies, the hottest per-layer cycle entries;
+* ``--trace out.json`` — the Chrome ``trace_event`` file (open in
+  ``chrome://tracing`` or https://ui.perfetto.dev);
+* ``--metrics out.json`` — the full metrics snapshot.
+
+The metrics window is process-global, so the command resets the registry
+up front: the emitted numbers describe this run only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import time
+from collections import defaultdict
+from typing import Callable
+
+from . import metrics as obs_metrics
+from . import trace as obs_trace
+
+MODELS = ("resnet50", "scr-resnet50", "densenet121")
+
+
+def _resolve_target(
+    target: str, model: str, batch: int
+) -> Callable[[], object]:
+    """A zero-argument callable reproducing ``target`` (or raise KeyError)."""
+    if target in MODELS:
+        def run_model():
+            from ..models import get_model_layers
+            from ..runtime.network import estimate_model_cycles
+
+            layers = get_model_layers(target, batch=batch)
+            return {
+                backend: estimate_model_cycles(layers, 8, backend)
+                for backend in ("arm", "gpu")
+            }
+
+        return run_model
+    if target == "tab1":
+        from ..figures import tab1_configurations
+
+        return tab1_configurations
+    from ..cli import _figure_registry
+
+    registry = _figure_registry()
+    if target not in registry:
+        raise KeyError(target)
+    fn = registry[target]
+    args = argparse.Namespace(model=model, batch=batch)
+    return lambda: fn(args)
+
+
+# ---------------------------------------------------------------------------
+# Text rendering
+# ---------------------------------------------------------------------------
+
+
+def _span_summary(tracer: obs_trace.Tracer, limit: int = 12) -> list[str]:
+    groups: dict[str, list[float]] = defaultdict(list)
+    for rec in tracer.spans():
+        groups[rec.name].append(rec.dur_us)
+    if not groups:
+        return ["  (no spans recorded)"]
+    rows = sorted(
+        ((sum(durs), len(durs), max(durs), name)
+         for name, durs in groups.items()),
+        reverse=True,
+    )
+    lines = [f"  {'span':<28} {'count':>6} {'total ms':>10} {'max ms':>9}"]
+    for total, count, peak, name in rows[:limit]:
+        lines.append(
+            f"  {name:<28} {count:>6} {total / 1e3:>10.3f} {peak / 1e3:>9.3f}"
+        )
+    if len(rows) > limit:
+        lines.append(f"  ... {len(rows) - limit} more span names")
+    return lines
+
+
+def _counter_summary(counters: dict[str, float]) -> list[str]:
+    if not counters:
+        return ["  (no counters recorded)"]
+    return [f"  {key:<52} {value}" for key, value in counters.items()]
+
+
+def _histogram_summary(histograms: dict[str, dict]) -> list[str]:
+    lines = []
+    for key, h in histograms.items():
+        lines.append(
+            f"  {key:<40} n={h['count']} mean={h['mean']:.4g} "
+            f"min={h['min']:.4g} max={h['max']:.4g}"
+        )
+    return lines or ["  (no histograms recorded)"]
+
+
+def _gauge_summary(gauges: dict[str, float], limit: int = 10) -> list[str]:
+    """Per-layer cycle gauges grouped by metric name, largest first."""
+    by_name: dict[str, list[tuple[float, str]]] = defaultdict(list)
+    for key, value in gauges.items():
+        name = key.split("{", 1)[0]
+        by_name[name].append((value, key))
+    lines = []
+    for name in sorted(by_name):
+        entries = sorted(by_name[name], reverse=True)
+        lines.append(f"  {name}: {len(entries)} series")
+        for value, key in entries[:limit]:
+            label = key[len(name):].strip("{}")
+            lines.append(f"    {label:<46} {value:.6g}")
+        if len(entries) > limit:
+            lines.append(f"    ... {len(entries) - limit} more")
+    return lines or ["  (no gauges recorded)"]
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def run_profile(
+    target: str,
+    *,
+    model: str = "resnet50",
+    batch: int = 1,
+    trace_path: str | os.PathLike | None = None,
+    metrics_path: str | os.PathLike | None = None,
+    echo: Callable[[str], None] = print,
+) -> int:
+    """Profile one artifact; returns a process exit code."""
+    try:
+        runner = _resolve_target(target, model, batch)
+    except KeyError:
+        echo(f"unknown profile target {target!r}; use fig7..fig17, tab1, "
+             f"or one of {', '.join(MODELS)}")
+        return 2
+
+    obs_metrics.reset()
+    t0 = time.perf_counter()
+    with obs_trace.capture() as tracer:
+        with obs_trace.span("profile", target=target, model=model,
+                            batch=batch):
+            runner()
+    seconds = time.perf_counter() - t0
+    snap = obs_metrics.snapshot()
+
+    echo(f"== profile {target} (model {model}, batch {batch}) ==")
+    echo(f"wall time: {seconds:.3f} s   spans: {len(tracer)}")
+    echo("spans by total time:")
+    for line in _span_summary(tracer):
+        echo(line)
+    echo("counters:")
+    for line in _counter_summary(snap["counters"]):
+        echo(line)
+    echo("histograms:")
+    for line in _histogram_summary(snap["histograms"]):
+        echo(line)
+    echo("per-layer cycles (gauges):")
+    for line in _gauge_summary(snap["gauges"]):
+        echo(line)
+
+    if trace_path is not None:
+        path = tracer.write(trace_path, process_name=f"repro profile {target}")
+        echo(f"wrote trace    {path}  (open in chrome://tracing or Perfetto)")
+    if metrics_path is not None:
+        payload = {
+            "target": target,
+            "model": model,
+            "batch": batch,
+            "wall_seconds": round(seconds, 6),
+            **snap,
+        }
+        path = pathlib.Path(metrics_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        echo(f"wrote metrics  {path}")
+    return 0

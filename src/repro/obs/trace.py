@@ -1,0 +1,253 @@
+"""Span-based tracer with a Chrome ``trace_event`` JSON exporter.
+
+Usage::
+
+    from repro.obs import trace
+
+    with trace.capture() as tracer:          # install a tracer
+        with trace.span("autotune", bits=4): # record spans anywhere below
+            ...
+    tracer.write("out.json")                 # load in Perfetto
+
+Design rules:
+
+* **No-op by default.**  ``span()`` reads one module global; with no
+  tracer installed it returns a shared stateless null context manager, so
+  instrumented hot paths cost a function call and a branch.  The overhead
+  budget is enforced by a test (``tests/test_obs_trace.py``).
+* **Thread-safe and nestable.**  Spans record their OS thread id, so the
+  :class:`~repro.perf.parallel.ParallelRunner` workers appear as separate
+  tracks in Perfetto; recording appends under a lock.  Nesting needs no
+  bookkeeping: Chrome "X" (complete) events nest visually by time
+  containment per track.
+* **Timestamps are relative.**  Microseconds since the tracer was
+  created, from ``time.perf_counter`` — monotonic and comparable across
+  threads of one process.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import pathlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span (times in microseconds since tracer start)."""
+
+    name: str
+    cat: str
+    start_us: float
+    dur_us: float
+    tid: int
+    args: dict[str, Any] = field(default_factory=dict)
+
+
+class _Span:
+    """Live span context manager bound to one tracer."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = self._tracer._now_us()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._tracer._record(
+            self._name, self._cat, self._args, self._start, self._tracer._now_us()
+        )
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans; thread-safe; exports Chrome ``trace_event`` JSON."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: list[SpanRecord] = []
+        self._thread_names: dict[int, str] = {}
+        self._t0 = time.perf_counter()
+
+    # -- recording ----------------------------------------------------------
+
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._t0) * 1e6
+
+    def span(self, name: str, *, cat: str = "repro", **args: Any) -> _Span:
+        return _Span(self, name, cat, args)
+
+    def _record(
+        self, name: str, cat: str, args: dict, start_us: float, end_us: float
+    ) -> None:
+        rec = SpanRecord(
+            name=name,
+            cat=cat,
+            start_us=start_us,
+            dur_us=max(0.0, end_us - start_us),
+            tid=threading.get_ident(),
+            args=args,
+        )
+        tname = threading.current_thread().name
+        with self._lock:
+            self._events.append(rec)
+            self._thread_names.setdefault(rec.tid, tname)
+
+    def instant(self, name: str, *, cat: str = "repro", **args: Any) -> None:
+        """Record a zero-duration marker event."""
+        now = self._now_us()
+        self._record(name, cat, args, now, now)
+
+    # -- introspection ------------------------------------------------------
+
+    def spans(self) -> list[SpanRecord]:
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    # -- export -------------------------------------------------------------
+
+    def chrome_trace(self, *, process_name: str = "repro") -> dict:
+        """The Chrome ``trace_event`` object format (Perfetto-loadable).
+
+        Spans become ``"X"`` (complete) events with microsecond ``ts`` /
+        ``dur``; process and thread names ride along as ``"M"`` metadata
+        events so worker tracks are labeled.
+        """
+        pid = os.getpid()
+        events: list[dict] = [{
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": process_name},
+        }]
+        spans = self.spans()
+        with self._lock:
+            thread_names = dict(self._thread_names)
+        for tid, tname in sorted(thread_names.items()):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": tname},
+            })
+        for rec in spans:
+            events.append({
+                "name": rec.name,
+                "cat": rec.cat,
+                "ph": "X",
+                "ts": round(rec.start_us, 3),
+                "dur": round(rec.dur_us, 3),
+                "pid": pid,
+                "tid": rec.tid,
+                "args": {k: _jsonable(v) for k, v in rec.args.items()},
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path: str | os.PathLike, **kwargs: Any) -> pathlib.Path:
+        """Serialize :meth:`chrome_trace` to ``path``; returns the path."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.chrome_trace(**kwargs), separators=(",", ":")) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+
+def _jsonable(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Module-level switchboard (the hot-path API)
+# ---------------------------------------------------------------------------
+
+_TRACER: Tracer | None = None
+_INSTALL_LOCK = threading.Lock()
+
+
+def active() -> bool:
+    """True while a tracer is installed (detailed instrumentation gate)."""
+    return _TRACER is not None
+
+
+def current() -> Tracer | None:
+    return _TRACER
+
+
+def install(tracer: Tracer | None = None) -> Tracer:
+    """Install ``tracer`` (or a fresh one) as the process tracer."""
+    global _TRACER
+    with _INSTALL_LOCK:
+        _TRACER = tracer if tracer is not None else Tracer()
+        return _TRACER
+
+
+def uninstall() -> Tracer | None:
+    """Remove and return the installed tracer (None if none was)."""
+    global _TRACER
+    with _INSTALL_LOCK:
+        tracer, _TRACER = _TRACER, None
+        return tracer
+
+
+@contextlib.contextmanager
+def capture(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Install a tracer for the ``with`` body, restoring the previous one.
+
+    The yielded tracer keeps its spans after exit, ready for
+    :meth:`Tracer.write`.
+    """
+    global _TRACER
+    with _INSTALL_LOCK:
+        prev = _TRACER
+        _TRACER = tracer if tracer is not None else Tracer()
+        installed = _TRACER
+    try:
+        yield installed
+    finally:
+        with _INSTALL_LOCK:
+            _TRACER = prev
+
+
+def span(name: str, *, cat: str = "repro", **args: Any):
+    """A span under the installed tracer, or a shared no-op without one."""
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, cat=cat, **args)
+
+
+def instant(name: str, *, cat: str = "repro", **args: Any) -> None:
+    """A zero-duration marker (no-op while tracing is disabled)."""
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.instant(name, cat=cat, **args)

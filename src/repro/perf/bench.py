@@ -29,15 +29,18 @@ import pathlib
 import platform
 import tempfile
 import time
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..perf.cache import CACHE_DIR_ENV
 from ..perf.parallel import resolve_jobs
 
 #: bump when the BENCH_*.json layout changes
-SCHEMA_VERSION = 1
+#: v2: added the ``metrics`` block (repro.obs registry snapshot)
+SCHEMA_VERSION = 2
 
 DEFAULT_OUT_DIR = pathlib.Path("benchmarks") / "out"
 
@@ -205,13 +208,27 @@ def run_bench(
     out_dir: str | os.PathLike = DEFAULT_OUT_DIR,
     cache_dir: str | os.PathLike | None = None,
     arm: bool = True,
+    trace_path: str | os.PathLike | None = None,
+    metrics_path: str | os.PathLike | None = None,
     echo: Callable[[str], None] = print,
 ) -> pathlib.Path:
     """Run the three-phase bench and write ``BENCH_*.json``; returns the
     report path.  ``cache_dir=None`` uses a throwaway temp dir so the run
-    is hermetic; pass a directory to keep the warm cache around."""
+    is hermetic; pass a directory to keep the warm cache around.
+
+    The report always carries a ``metrics`` block (the
+    :mod:`repro.obs.metrics` snapshot covering the whole run).
+    ``trace_path`` additionally installs a tracer for the run and writes
+    the Chrome trace there — timings then include tracing overhead, so
+    leave it off for regression comparisons.  ``metrics_path`` writes the
+    same metrics snapshot standalone.
+    """
     t_start = time.time()
-    with _isolated_cache_dir(cache_dir):
+    obs_metrics.reset()  # the metrics block describes this run only
+    with ExitStack() as stack:
+        tracer = (stack.enter_context(obs_trace.capture())
+                  if trace_path is not None else None)
+        stack.enter_context(_isolated_cache_dir(cache_dir))
         serial = _run_gpu_phase(
             "serial", model=model, batch=batch, smoke=smoke, jobs=1,
             engine=False, persistent=False,
@@ -262,6 +279,7 @@ def run_bench(
             "identical_series": identical_series,
         },
         "arm_schedule": arm_section,
+        "metrics": obs_metrics.snapshot(),
     }
 
     out_dir = pathlib.Path(out_dir)
@@ -288,6 +306,16 @@ def run_bench(
              f"{arm_section['warm']['seconds']:.3f} s "
              f"(speedup {arm_section['speedup_warm']}x)")
     echo(f"wrote {path}")
+    if tracer is not None:
+        tpath = tracer.write(trace_path, process_name=f"repro bench {suffix}")
+        echo(f"wrote trace {tpath}")
+    if metrics_path is not None:
+        mpath = pathlib.Path(metrics_path)
+        mpath.parent.mkdir(parents=True, exist_ok=True)
+        mpath.write_text(
+            json.dumps(payload["metrics"], indent=2) + "\n", encoding="utf-8"
+        )
+        echo(f"wrote metrics {mpath}")
     if not (identical_best and identical_series):
         raise AssertionError(
             "bench equivalence check failed: engine results differ from the "

@@ -24,6 +24,10 @@ Design rules:
   cache miss; writes go through a temp file + ``os.replace`` so readers
   never observe a partial entry.  Setting ``REPRO_NO_CACHE=1`` disables
   all disk traffic.
+* **Degradation is never silent.**  Every tolerated corruption or failed
+  write increments a :mod:`repro.obs.metrics` counter (``cache_corrupt``,
+  ``cache_put_errors``) and emits a structured ``repro.obs.log`` warning,
+  and every lookup lands in ``cache_lookups{namespace=...,outcome=...}``.
 """
 
 from __future__ import annotations
@@ -37,6 +41,9 @@ import os
 import pathlib
 import tempfile
 from typing import Any, Iterable
+
+from ..obs import log as obs_log
+from ..obs import metrics as obs_metrics
 
 #: environment variable overriding the on-disk cache root
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -179,26 +186,48 @@ class PersistentCache:
 
     # -- operations ---------------------------------------------------------
 
+    def _count_lookup(self, outcome: str) -> None:
+        obs_metrics.counter(
+            "cache_lookups", namespace=self.namespace, outcome=outcome
+        ).inc()
+
+    def _degrade(self, path: pathlib.Path, exc: BaseException | None,
+                 reason: str) -> None:
+        """A corrupt/unreadable entry tolerated as a miss — but signaled."""
+        self.stats.misses += 1
+        self.stats.errors += 1
+        self._count_lookup("miss")
+        obs_metrics.counter("cache_corrupt", namespace=self.namespace).inc()
+        obs_log.warning(
+            "cache_corrupt",
+            logger="repro.perf.cache",
+            namespace=self.namespace,
+            path=str(path),
+            reason=reason,
+            error=type(exc).__name__ if exc is not None else "none",
+        )
+
     def get(self, digest: str) -> dict | None:
         """The stored entry, or ``None`` on miss/corruption/disablement."""
         if not self.enabled:
             return None
+        path = self.path_for(digest)
         try:
-            with open(self.path_for(digest), "r", encoding="utf-8") as fh:
+            with open(path, "r", encoding="utf-8") as fh:
                 value = json.load(fh)
         except FileNotFoundError:
             self.stats.misses += 1
+            self._count_lookup("miss")
             return None
-        except (OSError, ValueError, UnicodeDecodeError):
+        except (OSError, ValueError, UnicodeDecodeError) as exc:
             # truncated/corrupt/unreadable entry: a miss, never a crash
-            self.stats.misses += 1
-            self.stats.errors += 1
+            self._degrade(path, exc, "unreadable-or-invalid-json")
             return None
         if not isinstance(value, dict):
-            self.stats.misses += 1
-            self.stats.errors += 1
+            self._degrade(path, None, "entry-not-a-dict")
             return None
         self.stats.hits += 1
+        self._count_lookup("hit")
         return value
 
     def put(self, digest: str, value: dict) -> bool:
@@ -218,10 +247,21 @@ class PersistentCache:
             finally:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
-        except (OSError, TypeError, ValueError):
+        except (OSError, TypeError, ValueError) as exc:
             self.stats.errors += 1
+            obs_metrics.counter(
+                "cache_put_errors", namespace=self.namespace
+            ).inc()
+            obs_log.warning(
+                "cache_put_failed",
+                logger="repro.perf.cache",
+                namespace=self.namespace,
+                path=str(path),
+                error=type(exc).__name__,
+            )
             return False
         self.stats.puts += 1
+        obs_metrics.counter("cache_puts", namespace=self.namespace).inc()
         return True
 
     def clear(self) -> int:

@@ -22,8 +22,13 @@ executor cannot be created.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from ..obs import log as obs_log
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -106,21 +111,48 @@ class ParallelRunner:
         if n == 0:
             return []
         if self.mode == "serial" or n == 1:
-            return [fn(x) for x in items]
+            with obs_trace.span("parallel.map", mode="serial", items=n):
+                return [fn(x) for x in items]
         if chunksize is None:
             chunksize = max(1, n // (self.jobs * 4))
         out: list[R] = [None] * n  # type: ignore[list-item]
         try:
             pool = self._executor()
-        except OSError:  # sandboxes without threads/processes
+        except OSError as exc:  # sandboxes without threads/processes
+            obs_log.warning(
+                "parallel_executor_unavailable",
+                logger="repro.perf.parallel",
+                mode=self.mode, jobs=self.jobs, error=type(exc).__name__,
+            )
             return [fn(x) for x in items]
         if self.mode == "process":
             # Executor.map already yields in input order; fn must pickle.
-            with pool:
+            with pool, obs_trace.span(
+                "parallel.map", mode="process", items=n, jobs=self.jobs
+            ):
                 return list(pool.map(fn, items, chunksize=chunksize))
-        with pool:
+        with pool, obs_trace.span(
+            "parallel.map", mode="thread", items=n, jobs=self.jobs
+        ):
+            observe = obs_trace.active()
+
             def run_chunk(idx: range) -> list[R]:
-                return [fn(items[i]) for i in idx]
+                if not observe:
+                    return [fn(items[i]) for i in idx]
+                # per-worker task timing: the span lands on the worker
+                # thread's track, so Perfetto shows pool utilization
+                t0 = time.perf_counter()
+                with obs_trace.span(
+                    "parallel.chunk", start=idx.start, size=len(idx)
+                ):
+                    res = [fn(items[i]) for i in idx]
+                obs_metrics.histogram(
+                    "parallel_chunk_seconds", mode=self.mode
+                ).observe(time.perf_counter() - t0)
+                obs_metrics.counter(
+                    "parallel_tasks", mode=self.mode
+                ).inc(len(idx))
+                return res
 
             futures = [(idx, pool.submit(run_chunk, idx))
                        for idx in self._chunks(n, chunksize)]

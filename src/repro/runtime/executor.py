@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..conv.ref import conv2d_ref
 from ..errors import ReproError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..quant.ranges import scheme_qrange
 from ..quant.schemes import dequantize_linear, quantize_linear, requantize
 from ..types import ConvSpec, Layout
@@ -42,55 +45,63 @@ def execute_graph(
     cur_bits: int = 8
 
     for op in graph:
-        if op.kind == "quantize":
-            bits = op.attrs["bits"]
-            scale = op.attrs["scale"]
-            cur_q = quantize_linear(cur, scale, scheme_qrange(bits))
-            cur_scale, cur_bits = scale, bits
-        elif op.kind == "conv":
-            if cur_q is None:
-                raise ReproError("conv reached without a quantize stage")
-            spec: ConvSpec = op.attrs["spec"]
-            bits = op.attrs["bits"]
-            w_float = weights[spec.name]
-            w_scale = weight_scales.get(
-                spec.name,
-                float(np.max(np.abs(w_float))) / scheme_qrange(bits).max_abs
-                or 1.0,
-            )
-            w_q = quantize_linear(w_float, w_scale, scheme_qrange(bits))
-            acc = conv2d_ref(spec, cur_q.astype(np.int64),
-                             w_q.astype(np.int64), layout=Layout.NCHW)
-            bias = biases.get(spec.name)
-            if bias is not None:
-                acc = acc + np.asarray(bias, dtype=np.int64)[None, :, None, None]
-            acc_scale = cur_scale * w_scale
-            epilogue = op.attrs.get("epilogue", "requant")
-            if epilogue in ("requant", "requant_relu"):
-                out_scale = op.attrs.get("out_scale", acc_scale * 16)
-                q = requantize(acc, acc_scale / out_scale, scheme_qrange(bits))
-                if epilogue == "requant_relu":
-                    q = np.clip(q, 0, scheme_qrange(bits).qmax)
-                cur_q, cur_scale, cur_bits = q, out_scale, bits
-                cur = dequantize_linear(q, out_scale)
-            elif epilogue == "dequant":
-                cur = acc.astype(np.float64) * acc_scale
-                cur_q = None
-            else:
-                raise ReproError(f"unknown conv epilogue {epilogue!r}")
-        elif op.kind == "dequantize":
-            if cur_q is None:
-                raise ReproError("dequantize without a quantized value")
-            cur = dequantize_linear(cur_q, cur_scale)
-            cur_q = None
-        elif op.kind == "relu":
-            if cur_q is not None:
-                cur_q = np.maximum(cur_q, 0)
+        t_op = time.perf_counter()
+        with obs_trace.span(f"op.{op.kind}", cat="executor"):
+            if op.kind == "quantize":
+                bits = op.attrs["bits"]
+                scale = op.attrs["scale"]
+                cur_q = quantize_linear(cur, scale, scheme_qrange(bits))
+                cur_scale, cur_bits = scale, bits
+            elif op.kind == "conv":
+                if cur_q is None:
+                    raise ReproError("conv reached without a quantize stage")
+                spec: ConvSpec = op.attrs["spec"]
+                bits = op.attrs["bits"]
+                w_float = weights[spec.name]
+                w_scale = weight_scales.get(
+                    spec.name,
+                    float(np.max(np.abs(w_float))) / scheme_qrange(bits).max_abs
+                    or 1.0,
+                )
+                w_q = quantize_linear(w_float, w_scale, scheme_qrange(bits))
+                acc = conv2d_ref(spec, cur_q.astype(np.int64),
+                                 w_q.astype(np.int64), layout=Layout.NCHW)
+                bias = biases.get(spec.name)
+                if bias is not None:
+                    acc = acc + np.asarray(bias, dtype=np.int64)[None, :, None, None]
+                acc_scale = cur_scale * w_scale
+                epilogue = op.attrs.get("epilogue", "requant")
+                if epilogue in ("requant", "requant_relu"):
+                    out_scale = op.attrs.get("out_scale", acc_scale * 16)
+                    q = requantize(acc, acc_scale / out_scale, scheme_qrange(bits))
+                    if epilogue == "requant_relu":
+                        q = np.clip(q, 0, scheme_qrange(bits).qmax)
+                    cur_q, cur_scale, cur_bits = q, out_scale, bits
+                    cur = dequantize_linear(q, out_scale)
+                elif epilogue == "dequant":
+                    cur = acc.astype(np.float64) * acc_scale
+                    cur_q = None
+                else:
+                    raise ReproError(f"unknown conv epilogue {epilogue!r}")
+            elif op.kind == "dequantize":
+                if cur_q is None:
+                    raise ReproError("dequantize without a quantized value")
                 cur = dequantize_linear(cur_q, cur_scale)
-            else:
-                cur = np.maximum(cur, 0.0)
-        else:  # pragma: no cover - Op validates kinds
-            raise ReproError(f"unknown op {op.kind!r}")
+                cur_q = None
+            elif op.kind == "relu":
+                if cur_q is not None:
+                    cur_q = np.maximum(cur_q, 0)
+                    cur = dequantize_linear(cur_q, cur_scale)
+                else:
+                    cur = np.maximum(cur, 0.0)
+            else:  # pragma: no cover - Op validates kinds
+                raise ReproError(f"unknown op {op.kind!r}")
+        # per-op wall time: ops here run real integer conv cores, so the
+        # accounting cost is noise relative to the work measured
+        obs_metrics.counter("executor_ops", kind=op.kind).inc()
+        obs_metrics.histogram(
+            "executor_op_seconds", kind=op.kind
+        ).observe(time.perf_counter() - t_op)
     return cur
 
 
@@ -159,7 +170,8 @@ def estimate_graph_cycles(
     (``REPRO_JOBS`` applies when unset); the report itself is assembled
     serially and is identical for any worker count.
     """
-    _prewarm_conv_costs(graph, backend, jobs)
+    with obs_trace.span("executor.prewarm", cat="executor", backend=backend):
+        _prewarm_conv_costs(graph, backend, jobs)
     report = GraphCostReport(backend=backend)
     # the element-wise ops act on the most recent conv's output tensor
     last_elems = 0
@@ -201,4 +213,5 @@ def estimate_graph_cycles(
                             "relu": 1.0}[op.kind]
                 cycles = elems * per_elem
             report.op_cycles.append((op.kind, cycles))
+    obs_metrics.counter("executor_graphs_priced", backend=backend).inc()
     return report

@@ -65,6 +65,30 @@ def test_bench_smoke(tmp_path, capsys):
 
     data = json.loads(report.read_text())
     assert data["gpu_autotune"]["identical_series"] is True
+    # the report always carries an obs metrics block (schema v2)
+    assert data["schema"] == 2
+    metrics = data["metrics"]
+    assert set(metrics) >= {"schema", "counters", "gauges", "histograms"}
+    assert any(k.startswith("cache_lookups{") for k in metrics["counters"])
+    assert any(k.startswith("autotune_evaluated{")
+               for k in metrics["counters"])
+
+
+def test_bench_smoke_trace_and_metrics_outputs(tmp_path, capsys):
+    tpath = tmp_path / "trace.json"
+    mpath = tmp_path / "metrics.json"
+    assert main(["bench", "--smoke", "--no-arm",
+                 "--out", str(tmp_path),
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--trace", str(tpath), "--metrics", str(mpath)]) == 0
+    import json
+
+    doc = json.loads(tpath.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    assert any(e["name"] == "autotune.search"
+               for e in doc["traceEvents"] if e["ph"] == "X")
+    snap = json.loads(mpath.read_text())
+    assert set(snap) >= {"schema", "counters", "gauges", "histograms"}
 
 
 def test_bad_command():

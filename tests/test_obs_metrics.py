@@ -1,0 +1,111 @@
+"""The metrics registry: labeled series, snapshots, thread-safety.
+
+Most tests use a private :class:`MetricsRegistry` so they can't interfere
+with the process default that library instrumentation writes into; the
+default-registry convenience API gets its own reset-bracketed test.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import MetricsRegistry, metric_key
+
+
+def test_metric_key_canonicalization():
+    assert metric_key("hits", {}) == "hits"
+    assert metric_key("hits", {"ns": "gpu", "bits": 4}) == \
+        metric_key("hits", {"bits": 4, "ns": "gpu"}) == "hits{bits=4,ns=gpu}"
+
+
+def test_counter_inc_and_identity():
+    reg = MetricsRegistry()
+    c = reg.counter("lookups", ns="a", outcome="hit")
+    c.inc()
+    c.inc(3)
+    # keyword order doesn't split the series: same object comes back
+    assert reg.counter("lookups", outcome="hit", ns="a") is c
+    assert c.value == 4
+    assert reg.counter("lookups", ns="a", outcome="miss").value == 0
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        MetricsRegistry().counter("c").inc(-1)
+
+
+def test_gauge_last_write_wins():
+    reg = MetricsRegistry()
+    g = reg.gauge("cycles", layer="conv1")
+    g.set(100.0)
+    g.set(42.5)
+    assert g.value == 42.5
+
+
+def test_histogram_summary_stats():
+    reg = MetricsRegistry()
+    h = reg.histogram("gap", bits=4)
+    for v in (3.0, 1.0, 2.0):
+        h.observe(v)
+    d = h.as_dict()
+    assert d == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+    assert reg.histogram("gap", bits=8).as_dict()["count"] == 0
+
+
+def test_snapshot_layout_and_sorting():
+    reg = MetricsRegistry()
+    reg.counter("b_counter").inc(2)
+    reg.counter("a_counter", x=1).inc()
+    reg.gauge("g").set(7.0)
+    reg.histogram("h").observe(1.5)
+    snap = reg.snapshot()
+    assert snap["schema"] == metrics.SCHEMA_VERSION
+    assert list(snap) == ["schema", "counters", "gauges", "histograms"]
+    assert list(snap["counters"]) == ["a_counter{x=1}", "b_counter"]
+    assert snap["counters"]["b_counter"] == 2
+    assert snap["gauges"] == {"g": 7.0}
+    assert snap["histograms"]["h"]["count"] == 1
+    import json
+
+    json.dumps(snap)  # plain JSON, no custom types
+
+
+def test_reset_drops_every_series():
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    reg.gauge("g").set(1.0)
+    reg.histogram("h").observe(1.0)
+    reg.reset()
+    snap = reg.snapshot()
+    assert snap["counters"] == snap["gauges"] == snap["histograms"] == {}
+
+
+def test_concurrent_increments_do_not_lose_updates():
+    reg = MetricsRegistry()
+
+    def work():
+        for _ in range(1000):
+            reg.counter("racy", src="t").inc()
+            reg.histogram("racy_h").observe(1.0)
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert reg.counter("racy", src="t").value == 8000
+    assert reg.histogram("racy_h").count == 8000
+
+
+def test_default_registry_convenience_api():
+    metrics.reset()
+    try:
+        metrics.counter("conv_runs", backend="arm").inc(5)
+        metrics.gauge("cycles", layer="conv1").set(123.0)
+        snap = metrics.snapshot()
+        assert snap["counters"]["conv_runs{backend=arm}"] == 5
+        assert snap["gauges"]["cycles{layer=conv1}"] == 123.0
+        assert metrics.registry().snapshot() == snap
+    finally:
+        metrics.reset()  # leave no residue for other tests

@@ -122,6 +122,29 @@ def test_truncated_json_is_a_miss_not_a_crash(store):
     assert store.stats.errors == 1
 
 
+def test_corruption_is_counted_and_warned_not_silent(store, caplog):
+    """Degrading to a miss is fine; degrading *silently* is not: a corrupt
+    entry must bump the ``cache_corrupt`` counter and emit a structured
+    warning through the ``repro`` logging tree."""
+    from repro.obs import metrics as obs_metrics
+
+    obs_metrics.reset()
+    digest = stable_hash("rotten")
+    store.put(digest, {"v": 1})
+    store.path_for(digest).write_text("{not json", encoding="utf-8")
+    with caplog.at_level("WARNING", logger="repro.perf.cache"):
+        assert store.get(digest) is None
+    events = [r.getMessage() for r in caplog.records
+              if r.name == "repro.perf.cache"]
+    assert any(m.startswith("cache_corrupt")
+               and "namespace=test-ns" in m for m in events)
+    snap = obs_metrics.snapshot()
+    assert snap["counters"]["cache_corrupt{namespace=test-ns}"] == 1
+    assert snap["counters"][
+        "cache_lookups{namespace=test-ns,outcome=miss}"] == 1
+    obs_metrics.reset()
+
+
 def test_non_dict_entry_is_a_miss(store):
     digest = stable_hash("y")
     store.path_for(digest).parent.mkdir(parents=True, exist_ok=True)
