@@ -1,0 +1,51 @@
+"""Unified backend abstraction: registered pricing targets.
+
+``get_backend("arm" | "gpu" | "ref")`` returns a :class:`Backend` with a
+common protocol — ``price_conv`` / ``price_elementwise`` / ``prewarm`` /
+``baselines`` / ``machine`` — so the runtime executor, network pricer,
+figures, CLI and bench never branch on backend-name strings and never
+import a target's kernel stack directly.  Built-ins register lazy
+factories here; third targets call :func:`register_backend` the same way.
+"""
+
+from .base import Backend, BaselineFn, ConvPrice, PrewarmItem
+from .registry import (
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+
+__all__ = [
+    "Backend",
+    "BaselineFn",
+    "ConvPrice",
+    "PrewarmItem",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
+]
+
+
+def _arm_factory() -> Backend:
+    from .arm import ArmBackend
+
+    return ArmBackend()
+
+
+def _gpu_factory() -> Backend:
+    from .gpu import GpuBackend
+
+    return GpuBackend()
+
+
+def _ref_factory() -> Backend:
+    from .ref import RefBackend
+
+    return RefBackend()
+
+
+register_backend("arm", _arm_factory)
+register_backend("gpu", _gpu_factory)
+register_backend("ref", _ref_factory)

@@ -1,0 +1,141 @@
+"""The backend protocol: one uniform pricing surface per simulated target.
+
+Every target the runtime can price a network on — the ARM CPU, the Turing
+GPU, the op-count reference, and any future machine — is a
+:class:`Backend`: a named object exposing the *same* small vocabulary
+(``price_conv`` / ``price_elementwise`` / ``prewarm`` / ``baselines``)
+plus its machine description.  Per-conv results are mapped into one
+:class:`ConvPrice` shape so downstream layers (runtime executor, network
+pricer, figures, CLI, bench) never see a target-specific perf object and
+never branch on a backend-name string.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Sequence, Tuple
+
+from ..types import ConvSpec
+
+#: one unit of prewarm work: ``(spec, bits, epilogue)``.  ``epilogue=None``
+#: prices the bare conv kernel (the figures path); an explicit epilogue
+#: string prices the conv as the graph executor charges it.
+PrewarmItem = Tuple[ConvSpec, int, "str | None"]
+
+#: a baseline pricer: maps a conv spec to that baseline's ConvPrice
+BaselineFn = Callable[[ConvSpec], "ConvPrice"]
+
+
+@dataclass(frozen=True)
+class ConvPrice:
+    """Uniform per-convolution price every backend maps its native perf
+    object into (``ArmConvPerf``, ``AutotuneResult``/``GpuKernelPerf``,
+    ref op counts).
+
+    ``total_cycles`` is the whole layer as the backend's cost model sees
+    it; ``quant_cycles`` is the share charged to the quantize/dequantize
+    element passes *inside* that total (zero on backends whose conv price
+    excludes them).  :attr:`graph_cycles` is what a graph executor that
+    carries explicit quantize/dequantize ops should charge the conv op —
+    the total minus the passes the graph already pays for separately.
+    """
+
+    backend: str
+    spec_name: str
+    bits: int
+    total_cycles: float
+    compute_cycles: float
+    quant_cycles: float
+    clock_hz: float
+    #: backend-specific tuning metadata (scheme, tiling, sweep tallies...)
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def graph_cycles(self) -> float:
+        """Conv-op charge inside an explicit-quantization graph."""
+        return self.total_cycles - self.quant_cycles
+
+    @property
+    def seconds(self) -> float:
+        return self.total_cycles / self.clock_hz
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+    @property
+    def microseconds(self) -> float:
+        return self.seconds * 1e6
+
+
+class Backend(abc.ABC):
+    """A pricing target.  Subclasses set :attr:`name` and :attr:`machine`
+    (any object with a ``clock_hz`` attribute) and implement the two
+    pricing primitives; ``prewarm`` and ``baselines`` have defaults."""
+
+    #: registry key (``get_backend(name)``)
+    name: str
+    #: human-facing platform label (Tab. 1 row headers)
+    display_name: str
+    #: machine description; must expose ``clock_hz``
+    machine: object
+
+    @property
+    def clock_hz(self) -> float:
+        return self.machine.clock_hz
+
+    @abc.abstractmethod
+    def price_conv(
+        self,
+        spec: ConvSpec,
+        bits: int,
+        epilogue: str | None = None,
+        **kwargs,
+    ) -> ConvPrice:
+        """Price one convolution layer.
+
+        ``epilogue=None`` prices the bare conv kernel with the backend's
+        default output handling (what the per-layer figures compare);
+        ``"requant"``/``"requant_relu"``/``"dequant"`` price the conv as
+        the graph executor's fused epilogues emit it.  Extra keywords are
+        backend-specific knobs (ARM: ``scheme``/``algorithm``; GPU:
+        ``tuned`` and kernel kwargs) and must default to the bare path.
+        """
+
+    @abc.abstractmethod
+    def price_elementwise(self, kind: str, elems: int) -> float:
+        """Cycles for one element-wise graph op (``quantize`` /
+        ``dequantize`` / ``relu``) over ``elems`` elements."""
+
+    def prewarm(
+        self, work: Sequence[PrewarmItem], jobs: int | None = None
+    ) -> None:
+        """Fan independent per-conv pricing over a worker pool purely to
+        warm the backend's memo caches; serial re-reads then assemble the
+        actual report, so results are identical for any worker count
+        (``REPRO_JOBS`` applies when ``jobs`` is unset)."""
+        from ..obs import trace as obs_trace
+        from ..perf.parallel import ParallelRunner
+
+        work = list(work)
+        if len(work) < 2:
+            return
+        with obs_trace.span(
+            "backend.prewarm", backend=self.name, items=len(work)
+        ):
+            ParallelRunner(jobs).map(
+                lambda w: self.price_conv(w[0], w[1], epilogue=w[2]), work
+            )
+
+    def baselines(self) -> Dict[str, BaselineFn]:
+        """Named library baselines this backend is evaluated against
+        (e.g. ``ncnn`` on ARM, ``cudnn-dp4a``/``tensorrt`` on GPU)."""
+        return {}
+
+    def describe(self) -> Dict[str, object]:
+        """Tab. 1-style machine description row."""
+        return {"device": self.name, "clock_hz": self.clock_hz}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,87 @@
+"""Backend registry: one dispatch point for every pricing target.
+
+Mirrors :mod:`repro.conv.registry`: downstream code selects backends by
+name, and registering here is all a new target needs to become reachable
+from the executor, network pricer, figures, CLI and bench.  Factories are
+registered lazily (a zero-argument callable) so importing the registry
+never drags in a backend's kernel stack; the instance is built on first
+:func:`get_backend` and reused after that.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict
+
+from ..errors import ReproError
+from .base import Backend
+
+BackendFactory = Callable[[], Backend]
+
+_FACTORIES: Dict[str, BackendFactory] = {}
+_INSTANCES: Dict[str, Backend] = {}
+_LOCK = threading.Lock()
+
+
+def register_backend(
+    name: str,
+    factory: "BackendFactory | Backend",
+    *,
+    replace: bool = False,
+) -> None:
+    """Make a backend reachable by ``name``.
+
+    ``factory`` is either a ready :class:`Backend` instance or a
+    zero-argument callable building one (preferred: construction — and
+    the imports it pulls in — is deferred until first use).  Registering
+    an existing name raises unless ``replace=True``.
+    """
+    with _LOCK:
+        if name in _FACTORIES and not replace:
+            raise ReproError(
+                f"backend {name!r} is already registered; "
+                f"pass replace=True to override"
+            )
+        if isinstance(factory, Backend):
+            instance = factory
+            _FACTORIES[name] = lambda: instance
+        else:
+            _FACTORIES[name] = factory
+        _INSTANCES.pop(name, None)
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (unknown names are a no-op)."""
+    with _LOCK:
+        _FACTORIES.pop(name, None)
+        _INSTANCES.pop(name, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    with _LOCK:
+        return tuple(sorted(_FACTORIES))
+
+
+def get_backend(name: "str | Backend") -> Backend:
+    """Resolve a backend by name (instances pass through unchanged)."""
+    if isinstance(name, Backend):
+        return name
+    with _LOCK:
+        instance = _INSTANCES.get(name)
+        if instance is not None:
+            return instance
+        factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ReproError(
+            f"unknown backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        )
+    instance = factory()
+    if not isinstance(instance, Backend):
+        raise ReproError(
+            f"backend factory for {name!r} returned "
+            f"{type(instance).__name__}, not a Backend"
+        )
+    with _LOCK:
+        return _INSTANCES.setdefault(name, instance)

@@ -6,8 +6,9 @@ Commands
     Show every reproducible artifact.
 ``reproduce <artifact> [--model M] [--batch B]``
     Regenerate one paper table/figure and print it.
-``layers <model>``
-    Print a model's unique conv layer table.
+``layers <model> [--backend B] [--bits N]``
+    Print a model's unique conv layer table; with ``--backend`` each
+    layer is also priced on that registered backend (arm | gpu | ref).
 ``chains``
     Print the Sec. 3.3 accumulation-chain table.
 ``kernel <scheme> <bits> <k>``
@@ -78,10 +79,31 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
 
 def cmd_layers(args: argparse.Namespace) -> int:
+    from .errors import ReproError
     from .models import get_model_layers
 
-    for spec in get_model_layers(args.model, batch=args.batch):
-        print(spec.describe())
+    layers = get_model_layers(args.model, batch=args.batch)
+    if args.backend is None:
+        for spec in layers:
+            print(spec.describe())
+        return 0
+    from .backends import get_backend
+
+    try:
+        be = get_backend(args.backend)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    be.prewarm([(spec, args.bits, None) for spec in layers])
+    total = 0.0
+    for spec in layers:
+        price = be.price_conv(spec, args.bits)
+        total += price.total_cycles
+        print(f"{spec.describe()}  "
+              f"[{be.name} {args.bits}-bit: {price.total_cycles:,.0f} cycles, "
+              f"{price.milliseconds:.3f} ms]")
+    print(f"total: {total:,.0f} cycles, {total / be.clock_hz * 1e3:.3f} ms "
+          f"on {be.display_name} @ {be.clock_hz / 1e9:.3g} GHz")
     return 0
 
 
@@ -116,6 +138,9 @@ def cmd_kernel(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from .perf.bench import DEFAULT_OUT_DIR, run_bench
 
+    backends = (args.backend,) if args.backend in ("gpu", "arm") else ("gpu", "arm")
+    if args.no_arm:
+        backends = tuple(b for b in backends if b != "arm")
     try:
         run_bench(
             model=args.model,
@@ -124,7 +149,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             out_dir=args.out if args.out else DEFAULT_OUT_DIR,
             cache_dir=args.cache_dir,
-            arm=not args.no_arm,
+            backends=backends,
             trace_path=args.trace,
             metrics_path=args.metrics,
         )
@@ -141,6 +166,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         args.target,
         model=args.model,
         batch=args.batch,
+        backend=args.backend,
         trace_path=args.trace,
         metrics_path=args.metrics,
     )
@@ -167,6 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
     lp.add_argument("model",
                     choices=["resnet50", "scr-resnet50", "densenet121"])
     lp.add_argument("--batch", type=int, default=1)
+    lp.add_argument("--backend", default=None, metavar="NAME",
+                    help="also price each layer on a registered backend "
+                         "(arm | gpu | ref)")
+    lp.add_argument("--bits", type=int, default=8,
+                    help="bit width for --backend pricing (default 8)")
     lp.set_defaults(fn=cmd_layers)
 
     sub.add_parser("chains", help="print the Sec. 3.3 chain table"
@@ -194,8 +225,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="output directory (default: benchmarks/out)")
     bp.add_argument("--cache-dir", default=None,
                     help="persistent cache dir (default: throwaway temp dir)")
+    bp.add_argument("--backend", default="all",
+                    choices=["all", "gpu", "arm"],
+                    help="which backend sections to run (default: all)")
     bp.add_argument("--no-arm", action="store_true",
-                    help="skip the ARM schedule-cache section")
+                    help="skip the ARM schedule-cache section "
+                         "(same as --backend gpu)")
     bp.add_argument("--trace", default=None, metavar="OUT.json",
                     help="also record a Chrome/Perfetto trace of the run")
     bp.add_argument("--metrics", default=None, metavar="OUT.json",
@@ -212,6 +247,9 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["resnet50", "scr-resnet50", "densenet121"],
                     help="model for figure targets that take one")
     pp.add_argument("--batch", type=int, default=1)
+    pp.add_argument("--backend", default=None, metavar="NAME",
+                    help="price model targets on one registered backend "
+                         "(default: every registered backend)")
     pp.add_argument("--trace", default=None, metavar="OUT.json",
                     help="write a Chrome trace_event file (Perfetto-loadable)")
     pp.add_argument("--metrics", default=None, metavar="OUT.json",

@@ -16,18 +16,9 @@ from dataclasses import dataclass
 
 from .analysis.report import Series
 from .analysis.space import model_space_report
-from .arm.conv_runner import ncnn_conv_cycles, time_arm_conv, tvm_popcount_cycles
-from .arm.cost_model import PI3B
-from .arm.winograd_runner import WINOGRAD_BITS, time_winograd_conv
-from .gpu.autotune import autotune_conv
-from .gpu.baselines import cudnn_dp4a_time, tensorrt_time
-from .gpu.device import TU102
-from .gpu.fusion import fusion_speedups
-from .gpu.pipelinemodel import conv_time
-from .gpu.tiling import default_tiling
+from .backends import get_backend
 from .models import get_model_layers
 from .obs import trace as obs_trace
-from .perf.parallel import ParallelRunner
 from .types import ConvSpec
 
 ARM_BITS = tuple(range(2, 9))
@@ -43,21 +34,6 @@ def _traced(fn):
             return fn(*args, **kwargs)
 
     return wrapper
-
-
-def _prewarm(fn, items, *, jobs: int | None = None) -> None:
-    """Fan ``fn`` over independent work items purely to warm memo caches.
-
-    Every per-layer figure loop below re-reads its results from those
-    caches serially, so the series are bit-for-bit identical whether the
-    prewarm ran with 1 worker, N workers, or not at all (``REPRO_JOBS``
-    controls the fan-out).  Results are discarded here on purpose: the
-    deterministic merge point is the cache, keyed by the work item.
-    """
-    items = list(items)
-    if len(items) > 1:
-        with obs_trace.span("figure.prewarm", cat="figure", items=len(items)):
-            ParallelRunner(jobs).map(fn, items)
 
 
 @dataclass(frozen=True)
@@ -86,13 +62,14 @@ class FigureData:
 def fig7_arm_speedups(model: str = "resnet50", *, batch: int = 1) -> FigureData:
     """Fig. 7 (and Fig. 14/15 with other models): our 2~8-bit conv kernels
     vs the ncnn 8-bit baseline, per layer."""
+    arm = get_backend("arm")
     layers = get_model_layers(model, batch=batch)
-    _prewarm(lambda sb: time_arm_conv(sb[0], sb[1]),
-             [(s, b) for b in ARM_BITS for s in layers])
-    base = [ncnn_conv_cycles(spec) for spec in layers]
+    arm.prewarm([(s, b, None) for b in ARM_BITS for s in layers])
+    ncnn = arm.baselines()["ncnn"]
+    base = [ncnn(spec) for spec in layers]
     series = []
     for bits in ARM_BITS:
-        ours = [time_arm_conv(spec, bits) for spec in layers]
+        ours = [arm.price_conv(spec, bits) for spec in layers]
         series.append(Series(
             f"{bits}-bit",
             tuple(b.total_cycles / o.total_cycles for b, o in zip(base, ours)),
@@ -102,7 +79,7 @@ def fig7_arm_speedups(model: str = "resnet50", *, batch: int = 1) -> FigureData:
         labels=tuple(spec.name for spec in layers),
         series=tuple(series),
         baseline_label="ncnn 8-bit (ms)",
-        baseline_times=tuple(b.milliseconds() for b in base),
+        baseline_times=tuple(b.milliseconds for b in base),
     )
 
 
@@ -110,16 +87,21 @@ def fig7_arm_speedups(model: str = "resnet50", *, batch: int = 1) -> FigureData:
 def fig8_arm_winograd(model: str = "resnet50") -> FigureData:
     """Fig. 8: GEMM-based vs winograd-based kernels at 4~6-bit on the
     3x3/s1 layers, against the ncnn baseline."""
+    # the winograd bit range is an ARM-kernel property, not a figure knob
+    from .arm.winograd_runner import WINOGRAD_BITS
+
+    arm = get_backend("arm")
     layers = [s for s in get_model_layers(model) if s.is_winograd_eligible()]
-    base = [ncnn_conv_cycles(spec) for spec in layers]
+    base = [arm.baselines()["ncnn"](spec) for spec in layers]
     series = []
     for bits in WINOGRAD_BITS:
-        gemm = [time_arm_conv(spec, bits) for spec in layers]
+        gemm = [arm.price_conv(spec, bits) for spec in layers]
         series.append(Series(
             f"gemm {bits}-bit",
             tuple(b.total_cycles / g.total_cycles for b, g in zip(base, gemm)),
         ))
-        wino = [time_winograd_conv(spec, bits) for spec in layers]
+        wino = [arm.price_conv(spec, bits, algorithm="winograd")
+                for spec in layers]
         series.append(Series(
             f"winograd {bits}-bit",
             tuple(b.total_cycles / w.total_cycles for b, w in zip(base, wino)),
@@ -129,16 +111,18 @@ def fig8_arm_winograd(model: str = "resnet50") -> FigureData:
         labels=tuple(spec.name for spec in layers),
         series=tuple(series),
         baseline_label="ncnn 8-bit (ms)",
-        baseline_times=tuple(b.milliseconds() for b in base),
+        baseline_times=tuple(b.milliseconds for b in base),
     )
 
 
 @_traced
 def fig9_arm_popcount(model: str = "resnet50") -> FigureData:
     """Fig. 9: our 2-bit kernels vs the TVM popcount A2W2 baseline."""
+    arm = get_backend("arm")
     layers = get_model_layers(model)
-    tvm = [tvm_popcount_cycles(spec) for spec in layers]
-    ours = [time_arm_conv(spec, 2) for spec in layers]
+    popcount = arm.baselines()["tvm-popcount"]
+    tvm = [popcount(spec) for spec in layers]
+    ours = [arm.price_conv(spec, 2) for spec in layers]
     series = (Series(
         "ours 2-bit vs TVM",
         tuple(t.total_cycles / o.total_cycles for t, o in zip(tvm, ours)),
@@ -148,7 +132,7 @@ def fig9_arm_popcount(model: str = "resnet50") -> FigureData:
         labels=tuple(spec.name for spec in layers),
         series=series,
         baseline_label="TVM popcount (ms)",
-        baseline_times=tuple(t.milliseconds() for t in tvm),
+        baseline_times=tuple(t.milliseconds for t in tvm),
     )
 
 
@@ -188,18 +172,19 @@ def fig15_arm_scr() -> FigureData:
 def fig10_gpu_speedups(model: str = "resnet50", *, batch: int = 1) -> FigureData:
     """Fig. 10 (and Fig. 16/17): our 4/8-bit kernels and TensorRT vs the
     cuDNN dp4a baseline."""
+    gpu = get_backend("gpu")
     layers = get_model_layers(model, batch=batch)
-    _prewarm(lambda sb: autotune_conv(sb[0], sb[1]),
-             [(s, b) for b in GPU_BITS for s in layers])
-    base = [cudnn_dp4a_time(spec) for spec in layers]
+    gpu.prewarm([(s, b, None) for b in GPU_BITS for s in layers])
+    baselines = gpu.baselines()
+    base = [baselines["cudnn-dp4a"](spec) for spec in layers]
     series = []
     for bits in GPU_BITS:
-        ours = [autotune_conv(spec, bits) for spec in layers]
+        ours = [gpu.price_conv(spec, bits) for spec in layers]
         series.append(Series(
             f"ours {bits}-bit",
-            tuple(b.total_cycles / o.best_cycles for b, o in zip(base, ours)),
+            tuple(b.total_cycles / o.total_cycles for b, o in zip(base, ours)),
         ))
-    trt = [tensorrt_time(spec) for spec in layers]
+    trt = [baselines["tensorrt"](spec) for spec in layers]
     series.append(Series(
         "TensorRT 8-bit",
         tuple(b.total_cycles / t.total_cycles for b, t in zip(base, trt)),
@@ -209,51 +194,56 @@ def fig10_gpu_speedups(model: str = "resnet50", *, batch: int = 1) -> FigureData
         labels=tuple(spec.name for spec in layers),
         series=tuple(series),
         baseline_label="cuDNN dp4a (us)",
-        baseline_times=tuple(b.microseconds() for b in base),
+        baseline_times=tuple(b.microseconds for b in base),
     )
 
 
 @_traced
 def fig11_gpu_autotune(model: str = "resnet50", *, batch: int = 1) -> FigureData:
     """Fig. 11: performance with profile-run tiling search over defaults."""
+    gpu = get_backend("gpu")
     layers = get_model_layers(model, batch=batch)
-    _prewarm(lambda sb: autotune_conv(sb[0], sb[1]),
-             [(s, b) for b in GPU_BITS for s in layers])
+    gpu.prewarm([(s, b, None) for b in GPU_BITS for s in layers])
     series = []
     for bits in GPU_BITS:
         vals = []
         for spec in layers:
-            tuned = autotune_conv(spec, bits).best_cycles
-            default = conv_time(spec, bits, default_tiling(bits)).total_cycles
+            tuned = gpu.price_conv(spec, bits).total_cycles
+            default = gpu.price_conv(spec, bits, tuned=False).total_cycles
             vals.append(default / tuned)
         series.append(Series(f"{bits}-bit w/ profile", tuple(vals)))
-    base = [conv_time(spec, 8, default_tiling(8)) for spec in layers]
+    base = [gpu.price_conv(spec, 8, tuned=False) for spec in layers]
     return FigureData(
         figure=f"fig11[b{batch}]",
         labels=tuple(spec.name for spec in layers),
         series=tuple(series),
         baseline_label="8-bit w/o profile (us)",
-        baseline_times=tuple(b.microseconds() for b in base),
+        baseline_times=tuple(b.microseconds for b in base),
     )
 
 
 @_traced
 def fig12_gpu_fusion(model: str = "resnet50", *, batch: int = 1) -> FigureData:
     """Fig. 12: conv+dequant and conv+ReLU fusion speedups (8-bit)."""
+    # kernel-fusion pipelines are a GPU-only experiment by construction
+    from .gpu.fusion import fusion_speedups
+
+    gpu = get_backend("gpu")
     layers = get_model_layers(model, batch=batch)
     dq, relu = [], []
     for spec in layers:
-        sp = fusion_speedups(spec, 8)
+        sp = fusion_speedups(spec, 8, device=gpu.machine)
         dq.append(sp["conv+dequant"])
         relu.append(sp["conv+relu"])
-    base = [cudnn_dp4a_time(spec) for spec in layers]
+    cudnn = gpu.baselines()["cudnn-dp4a"]
+    base = [cudnn(spec) for spec in layers]
     return FigureData(
         figure=f"fig12[b{batch}]",
         labels=tuple(spec.name for spec in layers),
         series=(Series("conv+dequant", tuple(dq)),
                 Series("conv+relu", tuple(relu))),
         baseline_label="unfused conv (us)",
-        baseline_times=tuple(b.microseconds() for b in base),
+        baseline_times=tuple(b.microseconds for b in base),
     )
 
 
@@ -271,22 +261,10 @@ def fig17_gpu_densenet() -> FigureData:
 
 
 def tab1_configurations() -> dict[str, dict[str, object]]:
-    """Tab. 1: the two simulated platforms' machine descriptions."""
+    """Tab. 1: the paper's two simulated platforms, described by their
+    registered backends."""
+    arm, gpu = get_backend("arm"), get_backend("gpu")
     return {
-        "ARM CPU": {
-            "device": "Raspberry Pi 3B (simulated)",
-            "architecture": "ARM Cortex-A53",
-            "clock_hz": PI3B.clock_hz,
-            "l1_bytes": PI3B.l1_bytes,
-            "l2_bytes": PI3B.l2_bytes,
-            "baseline": "ncnn-like 8-bit GEMM kernels",
-        },
-        "NVIDIA GPU": {
-            "device": "RTX 2080Ti (simulated)",
-            "architecture": "NVIDIA Turing TU102",
-            "sm_count": TU102.sm_count,
-            "clock_hz": TU102.clock_hz,
-            "dram_bytes_per_sec": TU102.dram_bytes_per_sec,
-            "baseline": "cuDNN-like dp4a kernels; TensorRT-like int8 kernels",
-        },
+        arm.display_name: arm.describe(),
+        gpu.display_name: gpu.describe(),
     }

@@ -2,8 +2,8 @@
 
 Runs a figure (``fig7``..``fig17``, ``tab1``) or a whole model
 (``resnet50`` | ``scr-resnet50`` | ``densenet121``, priced end-to-end on
-both simulated backends) inside a fresh tracer + metrics window, then
-reports:
+every registered backend — or one, with ``--backend``) inside a fresh
+tracer + metrics window, then reports:
 
 * a text summary — wall time, span totals by name, cache hit/miss rates,
   autotune evaluated/pruned tallies, the hottest per-layer cycle entries;
@@ -32,18 +32,20 @@ MODELS = ("resnet50", "scr-resnet50", "densenet121")
 
 
 def _resolve_target(
-    target: str, model: str, batch: int
+    target: str, model: str, batch: int, backend: str | None = None
 ) -> Callable[[], object]:
     """A zero-argument callable reproducing ``target`` (or raise KeyError)."""
     if target in MODELS:
         def run_model():
+            from ..backends import available_backends
             from ..models import get_model_layers
             from ..runtime.network import estimate_model_cycles
 
+            names = (backend,) if backend else available_backends()
             layers = get_model_layers(target, batch=batch)
             return {
-                backend: estimate_model_cycles(layers, 8, backend)
-                for backend in ("arm", "gpu")
+                name: estimate_model_cycles(layers, 8, name)
+                for name in names
             }
 
         return run_model
@@ -131,13 +133,28 @@ def run_profile(
     *,
     model: str = "resnet50",
     batch: int = 1,
+    backend: str | None = None,
     trace_path: str | os.PathLike | None = None,
     metrics_path: str | os.PathLike | None = None,
     echo: Callable[[str], None] = print,
 ) -> int:
-    """Profile one artifact; returns a process exit code."""
+    """Profile one artifact; returns a process exit code.
+
+    ``backend`` restricts model targets to one registered backend
+    (default: price on every registered backend); figure targets carry
+    their backend by construction and ignore it.
+    """
+    if backend is not None:
+        from ..backends import get_backend
+        from ..errors import ReproError
+
+        try:
+            get_backend(backend)
+        except ReproError as exc:
+            echo(str(exc))
+            return 2
     try:
-        runner = _resolve_target(target, model, batch)
+        runner = _resolve_target(target, model, batch, backend)
     except KeyError:
         echo(f"unknown profile target {target!r}; use fig7..fig17, tab1, "
              f"or one of {', '.join(MODELS)}")

@@ -31,7 +31,7 @@ import tempfile
 import time
 from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
@@ -207,7 +207,7 @@ def run_bench(
     jobs: int | None = None,
     out_dir: str | os.PathLike = DEFAULT_OUT_DIR,
     cache_dir: str | os.PathLike | None = None,
-    arm: bool = True,
+    backends: Sequence[str] = ("gpu", "arm"),
     trace_path: str | os.PathLike | None = None,
     metrics_path: str | os.PathLike | None = None,
     echo: Callable[[str], None] = print,
@@ -216,6 +216,11 @@ def run_bench(
     report path.  ``cache_dir=None`` uses a throwaway temp dir so the run
     is hermetic; pass a directory to keep the warm cache around.
 
+    ``backends`` selects the sections to run; names are validated against
+    the :mod:`repro.backends` registry (``gpu`` times the autotune engine
+    against the serial baseline, ``arm`` times the static-schedule cache;
+    other registered backends have no sweep to bench and are rejected).
+
     The report always carries a ``metrics`` block (the
     :mod:`repro.obs.metrics` snapshot covering the whole run).
     ``trace_path`` additionally installs a tracer for the run and writes
@@ -223,26 +228,37 @@ def run_bench(
     leave it off for regression comparisons.  ``metrics_path`` writes the
     same metrics snapshot standalone.
     """
+    from ..backends import get_backend
+
+    backends = tuple(get_backend(b).name for b in backends)
+    unbenchable = [b for b in backends if b not in ("gpu", "arm")]
+    if unbenchable:
+        raise AssertionError(
+            f"no bench section for backend(s) {', '.join(unbenchable)}; "
+            f"benchable: gpu, arm"
+        )
     t_start = time.time()
     obs_metrics.reset()  # the metrics block describes this run only
     with ExitStack() as stack:
         tracer = (stack.enter_context(obs_trace.capture())
                   if trace_path is not None else None)
         stack.enter_context(_isolated_cache_dir(cache_dir))
-        serial = _run_gpu_phase(
-            "serial", model=model, batch=batch, smoke=smoke, jobs=1,
-            engine=False, persistent=False,
-        )
-        cold = _run_gpu_phase(
-            "cold", model=model, batch=batch, smoke=smoke, jobs=jobs,
-            engine=True, persistent=True,
-        )
-        warm = _run_gpu_phase(
-            "warm", model=model, batch=batch, smoke=smoke, jobs=jobs,
-            engine=True, persistent=True,
-        )
+        serial = cold = warm = None
+        if "gpu" in backends:
+            serial = _run_gpu_phase(
+                "serial", model=model, batch=batch, smoke=smoke, jobs=1,
+                engine=False, persistent=False,
+            )
+            cold = _run_gpu_phase(
+                "cold", model=model, batch=batch, smoke=smoke, jobs=jobs,
+                engine=True, persistent=True,
+            )
+            warm = _run_gpu_phase(
+                "warm", model=model, batch=batch, smoke=smoke, jobs=jobs,
+                engine=True, persistent=True,
+            )
         arm_section = None
-        if arm and not smoke:
+        if "arm" in backends and not smoke:
             arm_cold = _run_arm_phase("arm-cold", model=model, jobs=jobs)
             arm_warm = _run_arm_phase("arm-warm", model=model, jobs=jobs)
             arm_section = {
@@ -253,11 +269,23 @@ def run_bench(
                 "identical_series": _equal_series(arm_cold.series, arm_warm.series),
             }
 
-    identical_best = serial.best == cold.best == warm.best
-    identical_series = (_equal_series(serial.series, cold.series)
-                        and _equal_series(serial.series, warm.series))
-    speedup_cold = serial.seconds / cold.seconds if cold.seconds else None
-    speedup_warm = serial.seconds / warm.seconds if warm.seconds else None
+    gpu_section = None
+    identical_best = identical_series = True
+    if serial is not None:
+        identical_best = serial.best == cold.best == warm.best
+        identical_series = (_equal_series(serial.series, cold.series)
+                            and _equal_series(serial.series, warm.series))
+        speedup_cold = serial.seconds / cold.seconds if cold.seconds else None
+        speedup_warm = serial.seconds / warm.seconds if warm.seconds else None
+        gpu_section = {
+            "serial": serial.as_dict(),
+            "cold": cold.as_dict(),
+            "warm": warm.as_dict(),
+            "speedup_cold": round(speedup_cold, 3) if speedup_cold else None,
+            "speedup_warm": round(speedup_warm, 3) if speedup_warm else None,
+            "identical_best": identical_best,
+            "identical_series": identical_series,
+        }
 
     payload = {
         "schema": SCHEMA_VERSION,
@@ -269,15 +297,8 @@ def run_bench(
         "model": model,
         "batch": batch,
         "jobs": resolve_jobs(jobs),
-        "gpu_autotune": {
-            "serial": serial.as_dict(),
-            "cold": cold.as_dict(),
-            "warm": warm.as_dict(),
-            "speedup_cold": round(speedup_cold, 3) if speedup_cold else None,
-            "speedup_warm": round(speedup_warm, 3) if speedup_warm else None,
-            "identical_best": identical_best,
-            "identical_series": identical_series,
-        },
+        "backends": list(backends),
+        "gpu_autotune": gpu_section,
         "arm_schedule": arm_section,
         "metrics": obs_metrics.snapshot(),
     }
@@ -288,19 +309,19 @@ def run_bench(
     path = out_dir / f"BENCH_autotune_{suffix}.json"
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
-    g = payload["gpu_autotune"]
     echo(f"== bench: {model} batch {batch}"
          f"{' (smoke)' if smoke else ''} ==")
-    echo(f"serial baseline : {serial.seconds:8.3f} s "
-         f"({serial.evaluated} profile runs)")
-    echo(f"engine cold     : {cold.seconds:8.3f} s  "
-         f"speedup {g['speedup_cold']}x  "
-         f"(pruned {cold.pruned}/{cold.candidates} candidates)")
-    echo(f"engine warm     : {warm.seconds:8.3f} s  "
-         f"speedup {g['speedup_warm']}x  "
-         f"(cache hit rate {warm.cache.get('hit_rate', 0.0):.0%})")
-    echo(f"identical best tilings: {identical_best}   "
-         f"identical figure series: {identical_series}")
+    if gpu_section is not None:
+        echo(f"serial baseline : {serial.seconds:8.3f} s "
+             f"({serial.evaluated} profile runs)")
+        echo(f"engine cold     : {cold.seconds:8.3f} s  "
+             f"speedup {gpu_section['speedup_cold']}x  "
+             f"(pruned {cold.pruned}/{cold.candidates} candidates)")
+        echo(f"engine warm     : {warm.seconds:8.3f} s  "
+             f"speedup {gpu_section['speedup_warm']}x  "
+             f"(cache hit rate {warm.cache.get('hit_rate', 0.0):.0%})")
+        echo(f"identical best tilings: {identical_best}   "
+             f"identical figure series: {identical_series}")
     if arm_section:
         echo(f"arm fig7 cold/warm: {arm_section['cold']['seconds']:.3f} s / "
              f"{arm_section['warm']['seconds']:.3f} s "

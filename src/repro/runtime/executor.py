@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backends import Backend, get_backend
 from ..conv.ref import conv2d_ref
 from ..errors import ReproError
 from ..obs import metrics as obs_metrics
@@ -126,53 +127,40 @@ class GraphCostReport:
         return len(self.op_cycles)
 
 
-def _prewarm_conv_costs(graph: Graph, backend: str, jobs: int | None) -> None:
-    """Fan independent per-conv autotune/pricing work over a
-    :class:`repro.perf.ParallelRunner` so the serial pricing loop below
-    only reads memo caches.  Purely a warm-up: results are re-read from
-    the caches in graph order, so the report is identical for any worker
-    count (including zero prewarming)."""
-    from ..perf.parallel import ParallelRunner
-
+def _prewarm_conv_costs(graph: Graph, backend: Backend, jobs: int | None) -> None:
+    """Fan independent per-conv autotune/pricing work over the backend's
+    :meth:`~repro.backends.Backend.prewarm` pool so the serial pricing
+    loop below only reads memo caches.  Purely a warm-up: results are
+    re-read from the caches in graph order, so the report is identical for
+    any worker count (including zero prewarming)."""
     work = []
     for op in graph:
         if op.kind != "conv":
             continue
         spec: ConvSpec = op.attrs["spec"]
-        bits = op.attrs["bits"]
-        epi = op.attrs.get("epilogue", "requant")
-        work.append((spec, bits, 4.0 if epi == "dequant" else bits / 8))
-    if len(work) < 2:
-        return
-
-    if backend == "gpu":
-        from ..gpu.autotune import autotune_conv
-
-        ParallelRunner(jobs).map(
-            lambda w: autotune_conv(w[0], w[1], out_elem_bytes=w[2]), work
-        )
-    elif backend == "arm":
-        from ..arm.conv_runner import time_arm_conv
-
-        ParallelRunner(jobs).map(lambda w: time_arm_conv(w[0], w[1]), work)
+        work.append((spec, op.attrs["bits"], op.attrs.get("epilogue", "requant")))
+    backend.prewarm(work, jobs=jobs)
 
 
 def estimate_graph_cycles(
-    graph: Graph, backend: str = "gpu", *, jobs: int | None = None
+    graph: Graph, backend: "str | Backend" = "gpu", *, jobs: int | None = None
 ) -> GraphCostReport:
-    """Price every op of the pipeline on a simulated backend.
+    """Price every op of the pipeline on a registered backend.
 
-    GPU: conv via the kernel cost model (epilogue folded in); element-wise
-    ops as bandwidth-bound kernels.  ARM: conv via the ARM layer model
-    (whose quantize/dequantize pass charges are skipped here since the
-    graph carries them explicitly); element-wise ops as byte passes.
-    ``jobs`` bounds the parallel prewarm of the per-conv costs
-    (``REPRO_JOBS`` applies when unset); the report itself is assembled
-    serially and is identical for any worker count.
+    Convolutions are priced through :meth:`Backend.price_conv` and charged
+    their :attr:`~repro.backends.ConvPrice.graph_cycles` (the conv total
+    minus any quantize/dequantize passes the backend's layer price folds
+    in — this graph carries those ops explicitly); element-wise ops go
+    through :meth:`Backend.price_elementwise`.  ``backend`` is a
+    registered name (``repro.backends.available_backends()``) or a
+    :class:`Backend` instance.  ``jobs`` bounds the parallel prewarm of
+    the per-conv costs (``REPRO_JOBS`` applies when unset); the report
+    itself is assembled serially and is identical for any worker count.
     """
-    with obs_trace.span("executor.prewarm", cat="executor", backend=backend):
-        _prewarm_conv_costs(graph, backend, jobs)
-    report = GraphCostReport(backend=backend)
+    be = get_backend(backend)
+    with obs_trace.span("executor.prewarm", cat="executor", backend=be.name):
+        _prewarm_conv_costs(graph, be, jobs)
+    report = GraphCostReport(backend=be.name)
     # the element-wise ops act on the most recent conv's output tensor
     last_elems = 0
     for op in graph:
@@ -180,38 +168,13 @@ def estimate_graph_cycles(
             spec: ConvSpec = op.attrs["spec"]
             bits = op.attrs["bits"]
             last_elems = spec.output_elems
-            if backend == "gpu":
-                from ..gpu.autotune import autotune_conv
-
-                epi = op.attrs.get("epilogue", "requant")
-                out_bytes = 4.0 if epi == "dequant" else bits / 8
-                perf = autotune_conv(spec, bits, out_elem_bytes=out_bytes)
-                report.op_cycles.append((repr(op), perf.best_cycles))
-            elif backend == "arm":
-                from ..arm.conv_runner import time_arm_conv
-                from ..arm.cost_model import PI3B
-
-                perf = time_arm_conv(spec, bits)
-                # graph-level quant ops are explicit; avoid double charge
-                cycles = perf.total_cycles - perf.quant_cycles
-                report.op_cycles.append((repr(op), cycles))
-            else:
-                raise ReproError(f"unknown backend {backend!r}")
+            price = be.price_conv(
+                spec, bits, epilogue=op.attrs.get("epilogue", "requant")
+            )
+            report.op_cycles.append((repr(op), price.graph_cycles))
         else:
-            elems = last_elems if last_elems else 0
-            if backend == "gpu":
-                from ..gpu.fusion import elementwise_kernel_cycles
-
-                io = {"quantize": (4.0, 1.0), "dequantize": (1.0, 4.0),
-                      "relu": (1.0, 1.0)}[op.kind]
-                cycles = elementwise_kernel_cycles(elems * io[0], elems * io[1])
-            else:
-                from ..arm.cost_model import PI3B
-
-                per_elem = {"quantize": PI3B.quantize_cycles_per_elem,
-                            "dequantize": PI3B.dequantize_cycles_per_elem,
-                            "relu": 1.0}[op.kind]
-                cycles = elems * per_elem
-            report.op_cycles.append((op.kind, cycles))
-    obs_metrics.counter("executor_graphs_priced", backend=backend).inc()
+            report.op_cycles.append(
+                (op.kind, be.price_elementwise(op.kind, last_elems))
+            )
+    obs_metrics.counter("executor_graphs_priced", backend=be.name).inc()
     return report

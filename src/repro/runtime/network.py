@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backends import Backend, get_backend
 from ..errors import ReproError, ShapeError
 from ..types import ConvSpec
 from .executor import GraphCostReport, estimate_graph_cycles, execute_graph
@@ -181,14 +182,18 @@ class NetworkCostReport:
         return sum(r.kernel_launches for r in self.stage_reports)
 
     def milliseconds(self) -> float:
-        clock = 1.2e9 if self.backend == "arm" else 1.545e9
-        return self.total_cycles / clock * 1e3
+        # the clock comes from the backend's machine description, never an
+        # inline literal that could drift from the cost model's constants
+        return self.total_cycles / get_backend(self.backend).clock_hz * 1e3
 
 
-def estimate_network_cycles(net: Network, backend: str = "gpu") -> NetworkCostReport:
-    report = NetworkCostReport(backend=backend)
+def estimate_network_cycles(
+    net: Network, backend: "str | Backend" = "gpu"
+) -> NetworkCostReport:
+    be = get_backend(backend)
+    report = NetworkCostReport(backend=be.name)
     for stage in net.stages:
-        report.stage_reports.append(estimate_graph_cycles(stage.graph, backend))
+        report.stage_reports.append(estimate_graph_cycles(stage.graph, be))
     return report
 
 
@@ -208,7 +213,7 @@ def execute_network(
 def estimate_model_cycles(
     specs: list[ConvSpec],
     bits: int,
-    backend: str = "arm",
+    backend: "str | Backend" = "arm",
     *,
     fused: bool = True,
     relu: bool = True,
@@ -220,12 +225,13 @@ def estimate_model_cycles(
     independently, so this sums per-layer pipelines — the way the paper's
     per-layer evaluation composes into a network estimate.
     """
-    report = NetworkCostReport(backend=backend)
+    be = get_backend(backend)
+    report = NetworkCostReport(backend=be.name)
     for spec in specs:
         g = conv_pipeline(spec, bits, with_relu=relu)
         if fused:
             g, _ = apply_all_fusions(g)
-        report.stage_reports.append(estimate_graph_cycles(g, backend))
+        report.stage_reports.append(estimate_graph_cycles(g, be))
     return report
 
 

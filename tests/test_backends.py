@@ -1,0 +1,233 @@
+"""Backend protocol, registry, and pricing-equivalence regressions.
+
+The equivalence tests replicate the pre-refactor string-dispatch pricing
+inline (direct ``time_arm_conv`` / ``autotune_conv`` calls with the exact
+arguments the old ``estimate_graph_cycles`` used) and assert the backend
+objects reproduce the same cycle totals bit-for-bit.
+"""
+
+import pytest
+
+from repro.arm.conv_runner import time_arm_conv
+from repro.arm.cost_model import PI3B
+from repro.backends import (
+    Backend,
+    ConvPrice,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.errors import ReproError
+from repro.gpu.autotune import autotune_conv
+from repro.gpu.device import TU102
+from repro.gpu.fusion import elementwise_kernel_cycles
+from repro.models import get_model_layers
+from repro.runtime import conv_pipeline, estimate_graph_cycles
+from repro.runtime.network import build_chain, estimate_network_cycles
+from repro.types import ConvSpec
+
+SPEC = ConvSpec("c1", in_channels=4, out_channels=6, height=8, width=8,
+                kernel=(3, 3), padding=(1, 1))
+
+# a small ResNet-50 layer sample keeps the autotune sweeps cheap
+LAYERS = get_model_layers("resnet50")[:3]
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+def test_builtin_backends_registered():
+    names = available_backends()
+    for builtin in ("arm", "gpu", "ref"):
+        assert builtin in names
+
+
+def test_unknown_backend_error_lists_available():
+    with pytest.raises(ReproError) as exc:
+        get_backend("tpu")
+    msg = str(exc.value)
+    assert "tpu" in msg
+    for name in available_backends():
+        assert name in msg
+
+
+def test_get_backend_passes_instances_through():
+    be = get_backend("ref")
+    assert get_backend(be) is be
+    assert get_backend("ref") is be  # instances are cached
+
+
+class _NullBackend(Backend):
+    name = "null"
+    display_name = "Null"
+    machine = None
+
+    @property
+    def clock_hz(self):
+        return 1.0
+
+    def price_conv(self, spec, bits, epilogue=None, **kwargs):
+        return ConvPrice(backend=self.name, spec_name=spec.name, bits=bits,
+                         total_cycles=1.0, compute_cycles=1.0,
+                         quant_cycles=0.0, clock_hz=self.clock_hz)
+
+    def price_elementwise(self, kind, elems):
+        return 0.0
+
+
+def test_register_roundtrip():
+    register_backend("null", _NullBackend)
+    try:
+        assert "null" in available_backends()
+        be = get_backend("null")
+        assert be.price_conv(SPEC, 8).total_cycles == 1.0
+        with pytest.raises(ReproError):
+            register_backend("null", _NullBackend)  # duplicate
+        register_backend("null", _NullBackend(), replace=True)
+    finally:
+        unregister_backend("null")
+    assert "null" not in available_backends()
+    with pytest.raises(ReproError):
+        get_backend("null")
+
+
+# ---------------------------------------------------------------------------
+# ConvPrice equivalence with the underlying cost models
+# ---------------------------------------------------------------------------
+
+
+def test_arm_price_matches_conv_runner():
+    arm = get_backend("arm")
+    for spec in LAYERS:
+        for bits in (2, 8):
+            perf = time_arm_conv(spec, bits)
+            price = arm.price_conv(spec, bits)
+            assert price.total_cycles == perf.total_cycles
+            assert price.quant_cycles == perf.quant_cycles
+            assert price.graph_cycles == perf.total_cycles - perf.quant_cycles
+            assert price.clock_hz == PI3B.clock_hz
+
+
+def test_gpu_price_matches_autotune():
+    gpu = get_backend("gpu")
+    for spec in LAYERS:
+        for bits in (4, 8):
+            # bare-kernel pricing (what the figures use): default out bytes
+            bare = autotune_conv(spec, bits)
+            assert gpu.price_conv(spec, bits).total_cycles == bare.best_cycles
+            # graph pricing with an explicit epilogue: epilogue-typed bytes
+            tuned = autotune_conv(spec, bits, out_elem_bytes=bits / 8)
+            price = gpu.price_conv(spec, bits, epilogue="requant")
+            assert price.total_cycles == tuned.best_cycles
+            assert price.quant_cycles == 0.0
+            assert price.graph_cycles == tuned.best_cycles
+            assert price.clock_hz == TU102.clock_hz
+
+
+# ---------------------------------------------------------------------------
+# Bit-identical graph/network totals vs the pre-refactor dispatch
+# ---------------------------------------------------------------------------
+
+
+def _pre_refactor_graph_cycles(graph, backend):
+    """The old string-dispatch pricing loop, verbatim."""
+    total = 0.0
+    last_elems = 0
+    for op in graph:
+        if op.kind == "conv":
+            spec = op.attrs["spec"]
+            bits = op.attrs["bits"]
+            last_elems = spec.output_elems
+            if backend == "gpu":
+                epi = op.attrs.get("epilogue", "requant")
+                out_bytes = 4.0 if epi == "dequant" else bits / 8
+                perf = autotune_conv(spec, bits, out_elem_bytes=out_bytes)
+                total += perf.best_cycles
+            else:
+                perf = time_arm_conv(spec, bits)
+                total += perf.total_cycles - perf.quant_cycles
+        else:
+            elems = last_elems if last_elems else 0
+            if backend == "gpu":
+                io = {"quantize": (4.0, 1.0), "dequantize": (1.0, 4.0),
+                      "relu": (1.0, 1.0)}[op.kind]
+                total += elementwise_kernel_cycles(elems * io[0], elems * io[1])
+            else:
+                per_elem = {"quantize": PI3B.quantize_cycles_per_elem,
+                            "dequantize": PI3B.dequantize_cycles_per_elem,
+                            "relu": 1.0}[op.kind]
+                total += elems * per_elem
+    return total
+
+
+@pytest.mark.parametrize("backend", ["arm", "gpu"])
+def test_graph_cycles_bit_identical_to_pre_refactor(backend):
+    for spec in LAYERS:
+        for bits in (4, 8):
+            g = conv_pipeline(spec, bits)
+            report = estimate_graph_cycles(g, backend)
+            assert report.total_cycles == _pre_refactor_graph_cycles(g, backend)
+            assert report.backend == backend
+
+
+@pytest.mark.parametrize("backend,clock", [("arm", 1.2e9), ("gpu", 1.545e9)])
+def test_network_cycles_and_clock_bit_identical(backend, clock):
+    net = build_chain("tiny", 4, [(8, 3, 1), (8, 3, 1)], height=8, width=8)
+    report = estimate_network_cycles(net, backend)
+    expected = sum(
+        _pre_refactor_graph_cycles(stage.graph, backend) for stage in net.stages
+    )
+    assert report.total_cycles == expected
+    # the old hardcoded clock literals, now sourced from the backends
+    assert get_backend(backend).clock_hz == clock
+    assert report.milliseconds() == report.total_cycles / clock * 1e3
+
+
+# ---------------------------------------------------------------------------
+# The ref backend runs end-to-end
+# ---------------------------------------------------------------------------
+
+
+def test_ref_backend_prices_graphs_and_networks():
+    ref = get_backend("ref")
+    g = conv_pipeline(SPEC, 8)
+    report = estimate_graph_cycles(g, "ref")
+    assert report.backend == "ref"
+    assert report.total_cycles > 0
+    net = build_chain("tiny", 4, [(8, 3, 1)], height=8, width=8)
+    nreport = estimate_network_cycles(net, ref)
+    assert nreport.total_cycles > 0
+    assert nreport.milliseconds() == nreport.total_cycles / 1.0e9 * 1e3
+
+
+def test_ref_price_is_op_count():
+    ref = get_backend("ref")
+    price = ref.price_conv(SPEC, 8)
+    assert price.compute_cycles == SPEC.macs / 64.0
+    assert price.total_cycles == price.compute_cycles + SPEC.output_elems / 8.0
+    with pytest.raises(ReproError):
+        ref.price_conv(SPEC, 8, algorithm="winograd")
+    with pytest.raises(ReproError):
+        ref.price_elementwise("normalize", 10)
+
+
+def test_cli_backend_flag(capsys):
+    from repro.cli import main
+
+    assert main(["layers", "resnet50", "--backend", "ref"]) == 0
+    out = capsys.readouterr().out
+    assert "ref 8-bit" in out
+    assert "total:" in out
+    assert main(["layers", "resnet50", "--backend", "tpu"]) == 2
+    err = capsys.readouterr().err
+    assert "arm" in err and "gpu" in err and "ref" in err
+
+
+def test_cli_profile_ref_backend(capsys):
+    from repro.cli import main
+
+    assert main(["profile", "resnet50", "--backend", "ref"]) == 0
+    assert main(["profile", "resnet50", "--backend", "tpu"]) == 2
