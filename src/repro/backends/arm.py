@@ -17,6 +17,12 @@ from ..types import ConvSpec
 from .base import Backend, BaselineFn, ConvPrice
 
 
+#: peak MACs per cycle per scheme on the A53 NEON pipe, from the pipeline
+#: cost table: MLA.16B retires 16 int8 lanes per 2-cycle occupancy,
+#: SMLAL.8H 8 int16 lanes per 2 cycles, SDOT 16 MACs per 2 cycles
+_PEAK_MACS_PER_CYCLE = {"mla": 8.0, "smlal": 4.0, "ncnn": 4.0, "sdot": 8.0}
+
+
 class ArmBackend(Backend):
     """ARMv8 GEMM/winograd kernels on the simulated Cortex-A53."""
 
@@ -90,6 +96,44 @@ class ArmBackend(Backend):
         if per_elem is None:
             raise ReproError(f"unknown element-wise op {kind!r} on {self.name}")
         return elems * per_elem
+
+    def peak_ops_per_sec(self, bits: int) -> float:
+        from ..arm.cost_model import scheme_for_bits
+
+        return _PEAK_MACS_PER_CYCLE[scheme_for_bits(bits)] * self.machine.clock_hz
+
+    def peak_bandwidth_bytes_per_sec(self) -> float:
+        return self.machine.dram_bytes_per_cycle * self.machine.clock_hz
+
+    def conv_traffic(self, spec: ConvSpec, bits: int) -> dict[str, float]:
+        """DRAM bytes the layer-level cost model charges (Sec. 3 passes):
+        the raw activation read, the im2col write (skipped for pointwise
+        unit-stride layers), the packed-B stream, the cold weight read and
+        the int32 accumulator write-back.  Mirrors the ``unique`` traffic
+        term of :func:`repro.arm.conv_runner._gemm_mem_cycles`."""
+        from ..arm.cost_model import (
+            is_pointwise_unit_stride,
+            kernel_geometry,
+            scheme_for_bits,
+        )
+        from ..util import round_up
+
+        _, n_r = kernel_geometry(scheme_for_bits(bits))
+        groups = spec.groups
+        k = spec.gemm_k
+        n = spec.gemm_n
+        im2col = 0.0 if is_pointwise_unit_stride(spec) else float(
+            spec.batch * groups * k * n
+        )
+        traffic = {
+            "input": float(spec.input_elems),
+            "im2col": im2col,
+            "pack": float(spec.batch * groups * k * round_up(n, n_r)),
+            "weights": float(spec.weight_elems),
+            "output": float(spec.output_elems * 4),  # int32 write-back
+        }
+        traffic["total"] = sum(traffic.values())
+        return traffic
 
     def baselines(self) -> dict[str, BaselineFn]:
         from ..arm.conv_runner import ncnn_conv_cycles, tvm_popcount_cycles

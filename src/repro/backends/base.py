@@ -133,6 +133,39 @@ class Backend(abc.ABC):
         (e.g. ``ncnn`` on ARM, ``cudnn-dp4a``/``tensorrt`` on GPU)."""
         return {}
 
+    # -- roofline hooks (repro.obs.roofline) --------------------------------
+
+    def peak_ops_per_sec(self, bits: int) -> float:
+        """Peak multiply-accumulate throughput (MACs/s) at ``bits`` —
+        the compute roof the roofline analyzer measures layers against.
+        Backends without a machine MAC-rate model may raise
+        :class:`~repro.errors.ReproError`."""
+        from ..errors import ReproError
+
+        raise ReproError(
+            f"backend {self.name!r} does not model a peak MAC rate"
+        )
+
+    def peak_bandwidth_bytes_per_sec(self) -> float:
+        """Peak main-memory bandwidth (bytes/s) — the memory roof."""
+        from ..errors import ReproError
+
+        raise ReproError(
+            f"backend {self.name!r} does not model memory bandwidth"
+        )
+
+    def conv_traffic(self, spec: ConvSpec, bits: int) -> Dict[str, float]:
+        """Estimated main-memory traffic (bytes) one conv layer moves, as
+        the backend's cost model charges it — im2col/packing streams on
+        ARM, tile re-reads on GPU.  Must return a ``"total"`` key plus any
+        per-component breakdown; the roofline analyzer divides MACs by
+        ``total`` for the layer's arithmetic intensity."""
+        from ..errors import ReproError
+
+        raise ReproError(
+            f"backend {self.name!r} does not model memory traffic"
+        )
+
     def describe(self) -> Dict[str, object]:
         """Tab. 1-style machine description row."""
         return {"device": self.name, "clock_hz": self.clock_hz}

@@ -41,7 +41,14 @@ class GpuBackend(Backend):
             compute_cycles=perf.compute_cycles,
             quant_cycles=0.0,
             clock_hz=self.machine.clock_hz,
-            meta={"tiling": perf.tiling.describe(), **meta},
+            meta={
+                "tiling": perf.tiling.describe(),
+                "dram_cycles": perf.dram_cycles,
+                "smem_cycles": perf.smem_cycles,
+                "occupancy": perf.occupancy,
+                "bound": perf.bound,
+                **meta,
+            },
         )
 
     def price_conv(
@@ -95,6 +102,22 @@ class GpuBackend(Backend):
         return elementwise_kernel_cycles(
             elems * io[0], elems * io[1], device=self.machine
         )
+
+    def peak_ops_per_sec(self, bits: int) -> float:
+        """Whole-device Tensor Core MAC rate (Turing whitepaper ratios)."""
+        m = self.machine
+        return m.mac_rate(bits) * m.sm_count * m.clock_hz
+
+    def peak_bandwidth_bytes_per_sec(self) -> float:
+        return self.machine.dram_bytes_per_sec
+
+    def conv_traffic(self, spec: ConvSpec, bits: int) -> dict[str, float]:
+        """DRAM bytes the pipeline model charges the tuned kernel — tile
+        re-reads included, L2-served re-reads excluded — recovered from
+        the priced kernel's ``dram_cycles`` at the device bandwidth."""
+        price = self.price_conv(spec, bits)
+        dram = float(price.meta["dram_cycles"]) * self.machine.dram_bytes_per_cycle
+        return {"dram": dram, "total": dram}
 
     def baselines(self) -> dict[str, BaselineFn]:
         from ..gpu.baselines import cudnn_dp4a_time, tensorrt_time

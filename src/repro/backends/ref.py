@@ -73,6 +73,25 @@ class RefBackend(Backend):
         # nothing to warm: pricing is closed-form arithmetic
         return
 
+    def peak_ops_per_sec(self, bits: int) -> float:
+        del bits  # flat-rate machine: width-independent by construction
+        return self.machine.macs_per_cycle * self.machine.clock_hz
+
+    def peak_bandwidth_bytes_per_sec(self) -> float:
+        # the idealized machine streams one element-wise operand per cycle
+        return self.machine.elementwise_per_cycle * self.machine.clock_hz
+
+    def conv_traffic(self, spec: ConvSpec, bits: int) -> dict[str, float]:
+        """Compulsory traffic only: each operand touched exactly once."""
+        elem_bytes = bits / 8
+        traffic = {
+            "input": spec.input_elems * elem_bytes,
+            "weights": spec.weight_elems * elem_bytes,
+            "output": spec.output_elems * elem_bytes,
+        }
+        traffic["total"] = sum(traffic.values())
+        return traffic
+
     def baselines(self) -> dict[str, BaselineFn]:
         return {"op-count-8bit": lambda spec: self.price_conv(spec, 8)}
 

@@ -22,6 +22,15 @@ Commands
     Run one figure (or a whole model) under the :mod:`repro.obs` tracer
     and metrics registry; print a text summary and optionally write a
     Chrome/Perfetto trace and a metrics snapshot.
+``report [--html out.html] [--backend arm,gpu]``
+    Roofline analytics over a model: per-layer arithmetic intensity and
+    %-of-roof per backend, the Fig. 1 CAL/LD ratio, the Sec. 3.3 chain
+    overhead, and the bench-history tail — as text, or as a
+    self-contained HTML dashboard with ``--html``.
+``regress [--baseline SHA] [--no-wall]``
+    Compare the newest ``bench --save`` ledger entry against a baseline:
+    model cycles bit-identical, wall clock within a noise-aware median
+    threshold.  Exits non-zero on regression (the CI gate).
 """
 
 from __future__ import annotations
@@ -33,20 +42,12 @@ from .analysis.report import Series, format_table
 
 
 def _figure_registry():
-    from . import figures as F
+    """argparse adapter over :func:`repro.figures.figure_registry`."""
+    from .figures import figure_registry
 
     return {
-        "fig7": lambda a: F.fig7_arm_speedups(a.model, batch=a.batch),
-        "fig8": lambda a: F.fig8_arm_winograd(a.model),
-        "fig9": lambda a: F.fig9_arm_popcount(a.model),
-        "fig10": lambda a: F.fig10_gpu_speedups(a.model, batch=a.batch),
-        "fig11": lambda a: F.fig11_gpu_autotune(a.model, batch=a.batch),
-        "fig12": lambda a: F.fig12_gpu_fusion(a.model, batch=a.batch),
-        "fig13": lambda a: F.fig13_space_overhead(a.model),
-        "fig14": lambda a: F.fig14_arm_densenet(),
-        "fig15": lambda a: F.fig15_arm_scr(),
-        "fig16": lambda a: F.fig16_gpu_scr(),
-        "fig17": lambda a: F.fig17_gpu_densenet(),
+        name: (lambda a, fn=fn: fn(model=a.model, batch=a.batch))
+        for name, fn in figure_registry().items()
     }
 
 
@@ -152,6 +153,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             backends=backends,
             trace_path=args.trace,
             metrics_path=args.metrics,
+            save=args.save,
+            history_dir=args.history_dir,
         )
     except AssertionError as exc:
         print(f"bench FAILED: {exc}", file=sys.stderr)
@@ -169,6 +172,73 @@ def cmd_profile(args: argparse.Namespace) -> int:
         backend=args.backend,
         trace_path=args.trace,
         metrics_path=args.metrics,
+    )
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .backends import available_backends
+    from .errors import ReproError
+
+    backends = tuple(b for b in args.backend.split(",") if b)
+    known = available_backends()
+    for name in backends:
+        if name not in known:
+            print(f"unknown backend {name!r}; registered: "
+                  f"{', '.join(known)}", file=sys.stderr)
+            return 2
+    if args.html:
+        from .obs.htmlreport import write_report
+
+        try:
+            path = write_report(
+                args.html, model=args.model, backends=backends,
+                batch=args.batch, history_dir=args.history_dir,
+            )
+        except ReproError as exc:
+            print(f"report FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote report  {path}")
+        return 0
+    from .obs import roofline as obs_roofline
+
+    for name in backends:
+        try:
+            points = obs_roofline.model_roofline(
+                args.model, name, batch=args.batch)
+        except ReproError as exc:
+            print(f"roofline [{name}] unavailable: {exc}", file=sys.stderr)
+            continue
+        print(f"== roofline [{name}] ({args.model}, batch {args.batch}) ==")
+        for line in obs_roofline.roofline_table(points):
+            print(line)
+        for line in obs_roofline.ascii_roofline(points):
+            print(line)
+    print("== CAL/LD ratio (Fig. 1) ==")
+    for line in obs_roofline.cal_ld_lines(
+            obs_roofline.model_cal_ld(args.model, batch=args.batch)):
+        print(line)
+    print("== accumulation-chain overhead (Sec. 3.3) ==")
+    for line in obs_roofline.chain_overhead_lines(
+            obs_roofline.chain_overhead_table()):
+        print(line)
+    return 0
+
+
+def cmd_regress(args: argparse.Namespace) -> int:
+    from .obs.regress import (
+        DEFAULT_WALL_TOLERANCE,
+        DEFAULT_WALL_WINDOW,
+        run_regress,
+    )
+
+    return run_regress(
+        history_dir=args.history_dir,
+        baseline=args.baseline,
+        wall_window=(args.wall_window if args.wall_window is not None
+                     else DEFAULT_WALL_WINDOW),
+        wall_tolerance=(args.wall_tolerance if args.wall_tolerance is not None
+                        else DEFAULT_WALL_TOLERANCE),
+        check_wall=not args.no_wall,
     )
 
 
@@ -235,6 +305,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also record a Chrome/Perfetto trace of the run")
     bp.add_argument("--metrics", default=None, metavar="OUT.json",
                     help="also write the metrics snapshot standalone")
+    bp.add_argument("--save", action="store_true",
+                    help="append this run to the bench-history ledger "
+                         "(benchmarks/history/ledger.jsonl)")
+    bp.add_argument("--history-dir", default=None, metavar="DIR",
+                    help="ledger directory for --save "
+                         "(default: $REPRO_BENCH_DIR or benchmarks/history)")
     bp.set_defaults(fn=cmd_bench)
 
     pp = sub.add_parser(
@@ -255,6 +331,40 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--metrics", default=None, metavar="OUT.json",
                     help="write the metrics registry snapshot as JSON")
     pp.set_defaults(fn=cmd_profile)
+
+    rr = sub.add_parser(
+        "report",
+        help="roofline analytics: text tables or an --html dashboard")
+    rr.add_argument("--model", default="resnet50",
+                    choices=["resnet50", "scr-resnet50", "densenet121"])
+    rr.add_argument("--batch", type=int, default=1)
+    rr.add_argument("--backend", default="arm,gpu", metavar="A,B",
+                    help="comma-separated backends to chart (default: arm,gpu)")
+    rr.add_argument("--html", default=None, metavar="OUT.html",
+                    help="write the self-contained HTML dashboard here "
+                         "instead of printing text tables")
+    rr.add_argument("--history-dir", default=None, metavar="DIR",
+                    help="bench ledger shown in the dashboard "
+                         "(default: $REPRO_BENCH_DIR or benchmarks/history)")
+    rr.set_defaults(fn=cmd_report)
+
+    gp = sub.add_parser(
+        "regress",
+        help="compare the newest ledger run against a baseline; "
+             "non-zero exit on regression")
+    gp.add_argument("--history-dir", default=None, metavar="DIR",
+                    help="ledger directory "
+                         "(default: $REPRO_BENCH_DIR or benchmarks/history)")
+    gp.add_argument("--baseline", default=None, metavar="RUN|SHA",
+                    help="baseline selector: run_id or git sha prefix "
+                         "(default: newest comparable run)")
+    gp.add_argument("--wall-window", type=int, default=None,
+                    help="prior runs in the wall-clock median window")
+    gp.add_argument("--wall-tolerance", type=float, default=None,
+                    help="flat wall-clock tolerance fraction (default 0.5)")
+    gp.add_argument("--no-wall", action="store_true",
+                    help="demote wall-clock overruns to advisory warnings")
+    gp.set_defaults(fn=cmd_regress)
     return p
 
 

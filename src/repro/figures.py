@@ -268,3 +268,35 @@ def tab1_configurations() -> dict[str, dict[str, object]]:
         arm.display_name: arm.describe(),
         gpu.display_name: gpu.describe(),
     }
+
+
+# ---------------------------------------------------------------------------
+# Registry (the one list every reporting surface dispatches on)
+# ---------------------------------------------------------------------------
+
+
+def figure_registry() -> "dict[str, object]":
+    """Figure name -> ``fn(model=..., batch=...)`` generator.
+
+    The single source of truth for what is reproducible; the CLI, the
+    profile/report surfaces and the bench/regress tooling all dispatch
+    through it.  Figures pinned to one workload (fig14..fig17) ignore the
+    model/batch arguments.
+    """
+    return {
+        "fig7": lambda model="resnet50", batch=1:
+            fig7_arm_speedups(model, batch=batch),
+        "fig8": lambda model="resnet50", batch=1: fig8_arm_winograd(model),
+        "fig9": lambda model="resnet50", batch=1: fig9_arm_popcount(model),
+        "fig10": lambda model="resnet50", batch=1:
+            fig10_gpu_speedups(model, batch=batch),
+        "fig11": lambda model="resnet50", batch=1:
+            fig11_gpu_autotune(model, batch=batch),
+        "fig12": lambda model="resnet50", batch=1:
+            fig12_gpu_fusion(model, batch=batch),
+        "fig13": lambda model="resnet50", batch=1: fig13_space_overhead(model),
+        "fig14": lambda model="resnet50", batch=1: fig14_arm_densenet(),
+        "fig15": lambda model="resnet50", batch=1: fig15_arm_scr(),
+        "fig16": lambda model="resnet50", batch=1: fig16_gpu_scr(),
+        "fig17": lambda model="resnet50", batch=1: fig17_gpu_densenet(),
+    }

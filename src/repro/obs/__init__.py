@@ -22,7 +22,22 @@ the reproduction carries its own instrumentation:
   var set, records still propagate to :mod:`logging` (so tests and host
   applications can capture them) but nothing is printed.
 
-The reporting surface is ``python -m repro profile <figure|model>``
+Derived analytics build on those primitives:
+
+* :mod:`repro.obs.roofline` — per-layer arithmetic intensity and
+  %-of-roof from the backend cost models, the Fig. 1 CAL/LD ratio and
+  the Sec. 3.3 accumulation-chain overhead as live gauges;
+* :mod:`repro.obs.history` — the append-only JSONL ledger ``bench
+  --save`` writes (schema v3: git sha, machine fingerprint, per-figure
+  cycles, wall clock, metrics);
+* :mod:`repro.obs.regress` — ``python -m repro regress``, the CI
+  perf-regression sentinel over that ledger (cycles bit-identical, wall
+  clock within a noise-aware median threshold);
+* :mod:`repro.obs.htmlreport` — the self-contained ``python -m repro
+  report --html`` dashboard (roofline scatter, chain-overhead bars,
+  ledger trends; no external assets).
+
+The text reporting surface is ``python -m repro profile <figure|model>``
 (:mod:`repro.obs.report`), which runs one artifact under a fresh tracer +
 metrics window and emits a text summary plus ``--trace``/``--metrics``
 JSON files.

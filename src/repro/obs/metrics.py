@@ -74,10 +74,23 @@ class Gauge:
         return self._value
 
 
-class Histogram:
-    """Streaming summary (count/sum/min/max) of observed values."""
+#: retained-sample ceiling per histogram; beyond it the sample set is
+#: decimated 2x (keep every other) and only every ``stride``-th observation
+#: is retained — a deterministic uniform subsample, never reservoir noise
+SAMPLE_CAP = 4096
 
-    __slots__ = ("_lock", "count", "sum", "min", "max")
+
+class Histogram:
+    """Streaming summary (count/sum/min/max) of observed values.
+
+    Besides the running aggregates, a bounded, deterministically decimated
+    sample set is retained so :meth:`percentile` can answer quantile
+    queries — exact until :data:`SAMPLE_CAP` observations, a uniform
+    1-in-``stride`` subsample beyond.  The regression checker leans on
+    this for its noise-aware wall-clock medians.
+    """
+
+    __slots__ = ("_lock", "count", "sum", "min", "max", "_samples", "_stride")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -85,6 +98,8 @@ class Histogram:
         self.sum = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self._samples: list[float] = []
+        self._stride = 1
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -95,10 +110,60 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
+            if (self.count - 1) % self._stride == 0:
+                self._samples.append(value)
+                if len(self._samples) >= SAMPLE_CAP:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) of the observed values.
+
+        Linear interpolation between order statistics of the retained
+        sample set; raises :class:`ValueError` on an empty histogram.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            raise ValueError("percentile of an empty histogram")
+        if len(samples) == 1:
+            return samples[0]
+        pos = (q / 100.0) * (len(samples) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(samples) - 1)
+        frac = pos - lo
+        return samples[lo] * (1.0 - frac) + samples[hi] * frac
+
+    @classmethod
+    def merge(cls, histograms: "list[Histogram] | tuple[Histogram, ...]") -> "Histogram":
+        """Combine histograms into a fresh one (sum of the windows).
+
+        Aggregates add exactly; the merged sample set concatenates the
+        inputs' retained samples and re-decimates past :data:`SAMPLE_CAP`.
+        """
+        out = cls()
+        merged: list[float] = []
+        for h in histograms:
+            with h._lock:
+                out.count += h.count
+                out.sum += h.sum
+                if h.min is not None:
+                    out.min = h.min if out.min is None else min(out.min, h.min)
+                if h.max is not None:
+                    out.max = h.max if out.max is None else max(out.max, h.max)
+                merged.extend(h._samples)
+                out._stride = max(out._stride, h._stride)
+        while len(merged) >= SAMPLE_CAP:
+            merged = merged[::2]
+            out._stride *= 2
+        out._samples = merged
+        return out
 
     def as_dict(self) -> dict:
         return {

@@ -1,0 +1,234 @@
+"""Perf-regression verdicts over the bench ledger: ``repro regress``.
+
+Compares the newest ledger entry (the *candidate*) against a baseline
+entry (default: the newest earlier run with the same model/batch/kind,
+preferring the same machine fingerprint) on two signals:
+
+* **deterministic** — per-figure model cycles and figure series must be
+  *bit-identical*: the cost models are pure functions of code + spec, so
+  any drift is a real behavior change, never noise;
+* **wall-clock** — inherently noisy, so each phase's seconds are checked
+  against a noise-aware threshold: the median of up to N prior runs
+  (same fingerprint), widened by the larger of a flat tolerance and the
+  observed inter-quartile spread of those runs
+  (:meth:`repro.obs.metrics.Histogram.percentile` does the medians).
+
+Exit codes: 0 clean, 1 regression (any cycle mismatch; wall overruns
+unless ``check_wall`` is off), 2 unusable ledger (fewer than two
+comparable runs, or a config mismatch).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from . import metrics as obs_metrics
+from .history import BenchLedger
+
+#: prior runs folded into the wall-clock median window
+DEFAULT_WALL_WINDOW = 5
+#: flat wall-clock tolerance (fraction over the baseline median)
+DEFAULT_WALL_TOLERANCE = 0.5
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One comparison row of the regression table."""
+
+    key: str
+    kind: str  #: "cycles" | "series" | "wall" | "provenance"
+    ok: bool
+    detail: str
+    #: a failed verdict that counts toward the exit code (wall overruns
+    #: can be demoted to advisory with check_wall=False)
+    regression: bool = False
+
+
+@dataclass
+class RegressReport:
+    baseline_id: str
+    candidate_id: str
+    verdicts: list[Verdict]
+
+    @property
+    def regressed(self) -> bool:
+        return any(v.regression for v in self.verdicts)
+
+    def table(self) -> list[str]:
+        lines = [f"  {'check':<42} {'verdict':<6} detail"]
+        for v in self.verdicts:
+            status = "OK" if v.ok else ("FAIL" if v.regression else "WARN")
+            lines.append(f"  {v.key:<42} {status:<6} {v.detail}")
+        return lines
+
+
+def _first_diff(a: dict, b: dict) -> str:
+    """Human-sized description of the first difference between two dicts."""
+    for key in sorted(set(a) | set(b)):
+        if key not in a:
+            return f"{key!r} only in candidate"
+        if key not in b:
+            return f"{key!r} only in baseline"
+        if a[key] != b[key]:
+            return f"{key!r}: {a[key]!r} -> {b[key]!r}"
+    return "(identical)"
+
+
+def _exact_verdict(key: str, kind: str, base: dict, cand: dict) -> Verdict:
+    if base == cand:
+        return Verdict(key, kind, ok=True,
+                       detail=f"bit-identical ({len(cand)} keys)")
+    return Verdict(key, kind, ok=False, regression=True,
+                   detail=f"MISMATCH at {_first_diff(base, cand)}")
+
+
+def _wall_verdicts(
+    baseline: dict,
+    candidate: dict,
+    window: Sequence[dict],
+    *,
+    tolerance: float,
+    check_wall: bool,
+) -> list[Verdict]:
+    out: list[Verdict] = []
+    base_wall = baseline.get("wall_seconds", {})
+    cand_wall = candidate.get("wall_seconds", {})
+    for key in sorted(base_wall):
+        if key not in cand_wall:
+            continue
+        hist = obs_metrics.Histogram()
+        for entry in window:
+            sample = entry.get("wall_seconds", {}).get(key)
+            if isinstance(sample, (int, float)) and sample > 0:
+                hist.observe(float(sample))
+        if hist.count == 0:
+            hist.observe(float(base_wall[key]))
+        median = hist.percentile(50.0)
+        spread = ((hist.percentile(75.0) - hist.percentile(25.0)) / median
+                  if median else 0.0)
+        threshold = median * (1.0 + max(tolerance, spread))
+        value = float(cand_wall[key])
+        delta = (value - median) / median if median else 0.0
+        ok = value <= threshold
+        obs_metrics.gauge("regress_wall_delta", phase=key).set(delta)
+        out.append(Verdict(
+            key=f"wall {key}",
+            kind="wall",
+            ok=ok,
+            regression=(not ok) and check_wall,
+            detail=(f"{value:.3f}s vs median {median:.3f}s "
+                    f"of {hist.count} run(s) ({delta:+.1%}, "
+                    f"threshold +{max(tolerance, spread):.0%})"),
+        ))
+    return out
+
+
+def _config_key(entry: dict) -> tuple:
+    return (entry.get("kind"), entry.get("model"), entry.get("batch"),
+            tuple(entry.get("backends", ())))
+
+
+def _pick_baseline(entries: list[dict], candidate: dict,
+                   selector: str | None) -> dict | None:
+    """Resolve the baseline entry among everything older than candidate."""
+    if selector is not None:
+        for entry in reversed(entries):
+            if (entry.get("run_id", "").startswith(selector)
+                    or (entry.get("git_sha") or "").startswith(selector)):
+                return entry
+        return None
+    comparable = [e for e in entries if _config_key(e) == _config_key(candidate)]
+    same_fp = [e for e in comparable
+               if e.get("fingerprint") == candidate.get("fingerprint")]
+    pool = same_fp or comparable
+    return pool[-1] if pool else None
+
+
+def compare_entries(
+    baseline: dict,
+    candidate: dict,
+    *,
+    window: Sequence[dict] = (),
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    check_wall: bool = True,
+) -> RegressReport:
+    """Build the verdict table for one baseline/candidate pair."""
+    verdicts: list[Verdict] = []
+    if baseline.get("fingerprint") != candidate.get("fingerprint"):
+        verdicts.append(Verdict(
+            "machine fingerprint", "provenance", ok=False, regression=False,
+            detail=(f"{baseline.get('fingerprint')} -> "
+                    f"{candidate.get('fingerprint')} (code or machine "
+                    f"changed; cycle mismatches may be intentional)"),
+        ))
+    verdicts.append(_exact_verdict(
+        "model cycles", "cycles",
+        baseline.get("model_cycles", {}), candidate.get("model_cycles", {}),
+    ))
+    base_figs = baseline.get("figures", {})
+    cand_figs = candidate.get("figures", {})
+    for fig in sorted(set(base_figs) | set(cand_figs)):
+        verdicts.append(_exact_verdict(
+            f"figure {fig}", "series",
+            base_figs.get(fig, {}), cand_figs.get(fig, {}),
+        ))
+    verdicts.extend(_wall_verdicts(
+        baseline, candidate, window,
+        tolerance=wall_tolerance, check_wall=check_wall,
+    ))
+    report = RegressReport(
+        baseline_id=baseline.get("run_id", "?"),
+        candidate_id=candidate.get("run_id", "?"),
+        verdicts=verdicts,
+    )
+    obs_metrics.counter(
+        "regress_runs", outcome="regressed" if report.regressed else "clean"
+    ).inc()
+    return report
+
+
+def run_regress(
+    *,
+    history_dir: str | os.PathLike | None = None,
+    baseline: str | None = None,
+    wall_window: int = DEFAULT_WALL_WINDOW,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    check_wall: bool = True,
+    echo: Callable[[str], None] = print,
+) -> int:
+    """Compare the ledger's newest run against a baseline; returns the
+    process exit code (0 clean / 1 regression / 2 unusable ledger)."""
+    ledger = BenchLedger(history_dir)
+    entries = ledger.entries()
+    if len(entries) < 2:
+        echo(f"regress: need at least 2 ledger entries in {ledger.path}, "
+             f"found {len(entries)} (run `repro bench --save` twice)")
+        return 2
+    candidate = entries[-1]
+    older = entries[:-1]
+    base = _pick_baseline(older, candidate, baseline)
+    if base is None:
+        echo(f"regress: no comparable baseline for candidate "
+             f"{candidate.get('run_id', '?')} "
+             f"(selector {baseline!r})" if baseline else
+             f"regress: no baseline matches the candidate's config")
+        return 2
+    window = [e for e in older
+              if _config_key(e) == _config_key(candidate)
+              and e.get("fingerprint") == candidate.get("fingerprint")
+              ][-wall_window:]
+    report = compare_entries(
+        base, candidate, window=window,
+        wall_tolerance=wall_tolerance, check_wall=check_wall,
+    )
+    echo(f"== regress: candidate {report.candidate_id} "
+         f"vs baseline {report.baseline_id} ==")
+    for line in report.table():
+        echo(line)
+    if report.regressed:
+        echo("regress: REGRESSION detected")
+        return 1
+    echo("regress: clean")
+    return 0

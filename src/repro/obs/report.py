@@ -17,7 +17,6 @@ up front: the emitted numbers describe this run only.
 
 from __future__ import annotations
 
-import argparse
 import json
 import os
 import pathlib
@@ -53,14 +52,13 @@ def _resolve_target(
         from ..figures import tab1_configurations
 
         return tab1_configurations
-    from ..cli import _figure_registry
+    from ..figures import figure_registry
 
-    registry = _figure_registry()
+    registry = figure_registry()
     if target not in registry:
         raise KeyError(target)
     fn = registry[target]
-    args = argparse.Namespace(model=model, batch=batch)
-    return lambda: fn(args)
+    return lambda: fn(model=model, batch=batch)
 
 
 # ---------------------------------------------------------------------------
@@ -162,11 +160,35 @@ def run_profile(
 
     obs_metrics.reset()
     t0 = time.perf_counter()
-    with obs_trace.capture() as tracer:
-        with obs_trace.span("profile", target=target, model=model,
-                            batch=batch):
-            runner()
+    try:
+        with obs_trace.capture() as tracer:
+            with obs_trace.span("profile", target=target, model=model,
+                                batch=batch):
+                result = runner()
+    except BaseException:
+        # a failing figure must not leak this run's half-filled metrics
+        # window into later callers/tests (capture() already restores the
+        # tracer on its own finally path)
+        obs_metrics.reset()
+        raise
     seconds = time.perf_counter() - t0
+
+    roofline_lines: list[str] = []
+    if target in MODELS:
+        from . import roofline as obs_roofline
+
+        from ..errors import ReproError
+
+        names = (backend,) if backend else tuple(result)
+        for name in names:
+            try:
+                points = obs_roofline.model_roofline(
+                    target, name, batch=batch)
+            except ReproError:  # a backend without roofline hooks
+                continue
+            roofline_lines.append(f"roofline [{name}]:")
+            roofline_lines += obs_roofline.roofline_table(points, limit=8)
+            roofline_lines += obs_roofline.ascii_roofline(points)
     snap = obs_metrics.snapshot()
 
     echo(f"== profile {target} (model {model}, batch {batch}) ==")
@@ -183,6 +205,8 @@ def run_profile(
     echo("per-layer cycles (gauges):")
     for line in _gauge_summary(snap["gauges"]):
         echo(line)
+    for line in roofline_lines:
+        echo(line)
 
     if trace_path is not None:
         path = tracer.write(trace_path, process_name=f"repro profile {target}")
@@ -197,6 +221,10 @@ def run_profile(
         }
         path = pathlib.Path(metrics_path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        # sort_keys keeps the file byte-stable and diffable across runs
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
         echo(f"wrote metrics  {path}")
     return 0

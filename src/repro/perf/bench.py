@@ -40,7 +40,9 @@ from ..perf.parallel import resolve_jobs
 
 #: bump when the BENCH_*.json layout changes
 #: v2: added the ``metrics`` block (repro.obs registry snapshot)
-SCHEMA_VERSION = 2
+#: v3: added provenance (``git_sha``, ``fingerprint``) and ``--save``
+#:     ledger integration (repro.obs.history, schema shared with it)
+SCHEMA_VERSION = 3
 
 DEFAULT_OUT_DIR = pathlib.Path("benchmarks") / "out"
 
@@ -210,6 +212,8 @@ def run_bench(
     backends: Sequence[str] = ("gpu", "arm"),
     trace_path: str | os.PathLike | None = None,
     metrics_path: str | os.PathLike | None = None,
+    save: bool = False,
+    history_dir: str | os.PathLike | None = None,
     echo: Callable[[str], None] = print,
 ) -> pathlib.Path:
     """Run the three-phase bench and write ``BENCH_*.json``; returns the
@@ -227,6 +231,12 @@ def run_bench(
     the Chrome trace there — timings then include tracing overhead, so
     leave it off for regression comparisons.  ``metrics_path`` writes the
     same metrics snapshot standalone.
+
+    ``save=True`` appends a schema-v3 entry (git sha, machine
+    fingerprint, deterministic per-figure cycles/series, wall-clock,
+    metrics) to the :mod:`repro.obs.history` ledger under ``history_dir``
+    (default ``REPRO_BENCH_DIR`` or ``benchmarks/history/``) so
+    ``python -m repro regress`` can compare runs.
     """
     from ..backends import get_backend
 
@@ -287,10 +297,14 @@ def run_bench(
             "identical_series": identical_series,
         }
 
+    from ..obs.history import git_sha, machine_fingerprint
+
     payload = {
         "schema": SCHEMA_VERSION,
         "kind": "smoke" if smoke else "full",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(t_start)),
+        "git_sha": git_sha(),
+        "fingerprint": machine_fingerprint(),
         "host": {"python": platform.python_version(),
                  "platform": platform.platform(),
                  "cpus": os.cpu_count()},
@@ -333,8 +347,10 @@ def run_bench(
     if metrics_path is not None:
         mpath = pathlib.Path(metrics_path)
         mpath.parent.mkdir(parents=True, exist_ok=True)
+        # sort_keys keeps the file byte-stable and diffable across runs
         mpath.write_text(
-            json.dumps(payload["metrics"], indent=2) + "\n", encoding="utf-8"
+            json.dumps(payload["metrics"], indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
         )
         echo(f"wrote metrics {mpath}")
     if not (identical_best and identical_series):
@@ -342,4 +358,37 @@ def run_bench(
             "bench equivalence check failed: engine results differ from the "
             f"serial baseline (see {path})"
         )
+    if save:
+        # only verified runs enter the ledger: the equivalence gate above
+        # has already vouched that the engine changed nothing
+        from ..obs.history import BenchLedger, build_entry
+
+        figures: dict[str, dict[str, list[float]]] = {}
+        model_cycles: dict[str, list] = {}
+        wall: dict[str, float] = {}
+        if serial is not None:
+            model_cycles = dict(warm.best)
+            wall.update({"gpu_serial": serial.seconds,
+                         "gpu_cold": cold.seconds,
+                         "gpu_warm": warm.seconds})
+            for phase in (serial, cold, warm):
+                figures.update(phase.series)
+        if arm_section is not None:
+            wall.update({"arm_cold": arm_cold.seconds,
+                         "arm_warm": arm_warm.seconds})
+            figures.update(arm_cold.series)
+        entry = build_entry(
+            kind=payload["kind"],
+            model=model,
+            batch=batch,
+            jobs=payload["jobs"],
+            backends=list(backends),
+            timestamp=payload["timestamp"],
+            model_cycles=model_cycles,
+            figures=figures,
+            wall_seconds=wall,
+            metrics_snapshot=payload["metrics"],
+        )
+        ledger_path = BenchLedger(history_dir).append(entry)
+        echo(f"appended ledger entry {entry['run_id']} -> {ledger_path}")
     return path

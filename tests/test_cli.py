@@ -65,8 +65,10 @@ def test_bench_smoke(tmp_path, capsys):
 
     data = json.loads(report.read_text())
     assert data["gpu_autotune"]["identical_series"] is True
-    # the report always carries an obs metrics block (schema v2)
-    assert data["schema"] == 2
+    # the report always carries an obs metrics block and, since v3, the
+    # git/fingerprint provenance used by the bench-history ledger
+    assert data["schema"] == 3
+    assert "fingerprint" in data
     metrics = data["metrics"]
     assert set(metrics) >= {"schema", "counters", "gauges", "histograms"}
     assert any(k.startswith("cache_lookups{") for k in metrics["counters"])
@@ -89,6 +91,47 @@ def test_bench_smoke_trace_and_metrics_outputs(tmp_path, capsys):
                for e in doc["traceEvents"] if e["ph"] == "X")
     snap = json.loads(mpath.read_text())
     assert set(snap) >= {"schema", "counters", "gauges", "histograms"}
+
+
+def test_bench_save_then_regress_clean(tmp_path, capsys):
+    """The acceptance loop: two identical --save runs, then a clean regress."""
+    hist = tmp_path / "history"
+    for _ in range(2):
+        assert main(["bench", "--smoke", "--no-arm",
+                     "--out", str(tmp_path),
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--save", "--history-dir", str(hist)]) == 0
+    assert (hist / "ledger.jsonl").is_file()
+    assert main(["regress", "--history-dir", str(hist)]) == 0
+    out = capsys.readouterr().out
+    assert "bit-identical" in out and "regress: clean" in out
+
+
+def test_regress_needs_two_entries(tmp_path, capsys):
+    assert main(["regress", "--history-dir", str(tmp_path)]) == 2
+    assert "at least 2 ledger entries" in capsys.readouterr().out
+
+
+def test_report_html(tmp_path, capsys):
+    out_html = tmp_path / "report.html"
+    assert main(["report", "--html", str(out_html),
+                 "--backend", "ref",
+                 "--history-dir", str(tmp_path / "history")]) == 0
+    text = out_html.read_text()
+    assert text.startswith("<!doctype html>")
+    assert "<svg" in text and "Roofline" in text
+    assert "prefers-color-scheme: dark" in text  # dark mode is selected
+
+
+def test_report_text(capsys):
+    assert main(["report", "--backend", "ref"]) == 0
+    out = capsys.readouterr().out
+    assert "roofline [ref]" in out
+    assert "CAL/LD" in out and "chain" in out
+
+
+def test_report_unknown_backend(capsys):
+    assert main(["report", "--backend", "nope"]) == 2
 
 
 def test_bad_command():

@@ -70,3 +70,25 @@ def test_profile_tab1_without_outputs(capsys):
 def test_profile_unknown_target(capsys):
     assert main(["profile", "fig99"]) == 2
     assert "unknown profile target" in capsys.readouterr().out
+
+
+def test_failing_target_leaks_no_obs_state(monkeypatch):
+    """A figure that blows up mid-run must not leave its half-filled
+    metrics window (or an installed tracer) behind for later callers."""
+    import pytest
+
+    from repro.obs import metrics
+    from repro.obs import report as obs_report
+
+    def boom(target, model, batch, backend=None):
+        def runner():
+            metrics.counter("partial_work").inc(7)
+            raise RuntimeError("mid-figure failure")
+        return runner
+
+    monkeypatch.setattr(obs_report, "_resolve_target", boom)
+    with pytest.raises(RuntimeError, match="mid-figure failure"):
+        obs_report.run_profile("fig13", echo=lambda s: None)
+    assert not trace.active()
+    snap = metrics.snapshot()
+    assert "partial_work" not in snap["counters"]

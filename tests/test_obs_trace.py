@@ -128,6 +128,61 @@ def test_chrome_trace_schema(tmp_path):
         json.dumps(doc))  # round-trips
 
 
+def test_chrome_trace_round_trip_reconstructs_span_tree(tmp_path):
+    """Export -> reload -> rebuild: nesting (time containment per thread)
+    and the cross-thread layout must survive the Chrome trace_event file."""
+    with trace.capture() as tracer:
+        with trace.span("root", cat="test"):
+            with trace.span("child_a", cat="test"):
+                with trace.span("grandchild", cat="test"):
+                    time.sleep(0.001)
+            with trace.span("child_b", cat="test"):
+                time.sleep(0.001)
+
+        def work(i):
+            with trace.span("thread_root", idx=i):
+                with trace.span("thread_child", idx=i):
+                    time.sleep(0.001)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    path = tracer.write(tmp_path / "trace.json", process_name="round-trip")
+    events = [e for e in json.loads(path.read_text())["traceEvents"]
+              if e["ph"] == "X"]
+
+    # rebuild parent links: a span's parent is the innermost same-thread
+    # span whose [ts, ts+dur] interval contains it
+    def parent_of(ev):
+        best = None
+        for other in events:
+            if other is ev or other["tid"] != ev["tid"]:
+                continue
+            if (other["ts"] <= ev["ts"]
+                    and other["ts"] + other["dur"] >= ev["ts"] + ev["dur"]):
+                if best is None or other["dur"] < best["dur"]:
+                    best = other
+        return best
+
+    tree = {}
+    for ev in events:
+        p = parent_of(ev)
+        tree.setdefault(ev["name"], set()).add(p["name"] if p else None)
+
+    assert tree["root"] == {None}
+    assert tree["child_a"] == tree["child_b"] == {"root"}
+    assert tree["grandchild"] == {"child_a"}
+    # the worker trees live on their own threads, re-rooted there
+    assert tree["thread_root"] == {None}
+    assert tree["thread_child"] == {"thread_root"}
+    tids = {e["tid"] for e in events if e["name"] == "thread_root"}
+    assert len(tids) == 2 and all(
+        e["tid"] not in tids for e in events if e["name"] == "root")
+
+
 def test_disabled_span_overhead_is_negligible():
     """The ISSUE budget: instrumentation compiled into hot paths must be
     near-free while no tracer is installed.  Bound the per-call cost very
