@@ -38,7 +38,7 @@ def test_sec33_smlal_chain_is_tight(bits):
     def run(k):
         a = np.full((16, k), worst, dtype=np.int8)
         b = np.full((k, 4), worst, dtype=np.int8)
-        kern = generate_smlal_kernel(bits, k, round_steps=k)
+        kern = generate_smlal_kernel(bits, k, round_steps=k, allow_unsafe=True)
         return kern.execute(pack_a(a, 16), pack_b(b, 4), check_overflow=True)
 
     run(chain)  # safe at the published length
@@ -54,7 +54,7 @@ def test_sec33_mla_chain_is_tight(bits):
     def run(k):
         a = np.full((64, k), -half, dtype=np.int8)
         b = np.full((k, 1), -half, dtype=np.int8)
-        kern = generate_mla_kernel(bits, k, chain_steps=k)
+        kern = generate_mla_kernel(bits, k, chain_steps=k, allow_unsafe=True)
         return kern.execute(pack_a(a, 64), pack_b(b, 1), check_overflow=True)
 
     run(chain)

@@ -53,7 +53,7 @@ def demo(bits: int) -> None:
 
     # one step further wraps
     a, b, _ = worst_case(bits, chain + 1, m_r, n_r)
-    kern = gen(bits, chain + 1, **kwargs(chain + 1))
+    kern = gen(bits, chain + 1, **kwargs(chain + 1), allow_unsafe=True)
     wrapped = kern.execute(pack_a(a, m_r), pack_b(b, n_r), check_overflow=False)
     true = (chain + 1) * worst * worst
     print(f"         one more step: true {true}, hardware computes "

@@ -20,7 +20,7 @@ drains the int16 lanes drain into int32.
 
 from __future__ import annotations
 
-from ...errors import ShapeError, UnsupportedBitsError
+from ...errors import ChainOverflowError, ShapeError, UnsupportedBitsError
 from ..isa import Instr, MemRef
 from ..ratios import (
     MLA_SCHEME_BITS,
@@ -82,11 +82,15 @@ def generate_mla_kernel(
     *,
     interleave: bool = True,
     chain_steps: int | None = None,
+    allow_unsafe: bool = False,
 ) -> MicroKernel:
     """Generate the MLA-scheme stream for a 64x1 tile over reduction ``k``.
 
-    ``chain_steps`` overrides the first-level drain interval (tests use it
-    to demonstrate overflow past the published chain lengths).
+    ``chain_steps`` overrides the first-level drain interval; an interval
+    past the overflow-safe :func:`~repro.arm.ratios.mla_chain_length`
+    raises :class:`~repro.errors.ChainOverflowError` at construction time
+    unless ``allow_unsafe=True`` (tests use it to demonstrate overflow
+    past the published chain lengths).
     """
     if bits not in MLA_SCHEME_BITS:
         raise UnsupportedBitsError(bits, "MLA scheme covers 2~3-bit")
@@ -95,6 +99,9 @@ def generate_mla_kernel(
     chain = chain_steps if chain_steps is not None else mla_chain_length(bits)
     if chain < 1:
         raise ShapeError(f"chain interval must be >= 1, got {chain}")
+    safe = mla_chain_length(bits)
+    if not allow_unsafe and min(chain, k) > safe:
+        raise ChainOverflowError(bits, min(chain, k), safe, "MLA")
     l2_interval = saddw_second_level_interval(bits)
 
     out: list[Instr] = []

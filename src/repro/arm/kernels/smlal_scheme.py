@@ -25,7 +25,7 @@ the load pipeline at each drained block boundary instead.
 
 from __future__ import annotations
 
-from ...errors import ShapeError, UnsupportedBitsError
+from ...errors import ChainOverflowError, ShapeError, UnsupportedBitsError
 from ..isa import Instr, MemRef
 from ..ratios import SMLAL_SCHEME_BITS, round_interval, smlal_chain_length
 from .base import MicroKernel
@@ -84,6 +84,7 @@ def generate_smlal_kernel(
     *,
     interleave: bool = True,
     round_steps: int | None = None,
+    allow_unsafe: bool = False,
 ) -> MicroKernel:
     """Generate the Alg. 1 stream for a 16x4 tile over reduction length ``k``.
 
@@ -98,8 +99,12 @@ def generate_smlal_kernel(
         the MACs of step *s* (the paper's prefetch interleaving).  Turning
         this off is the ablation knob for Fig. 7's analysis.
     round_steps:
-        Override the drain interval (tests use this to build deliberately
-        overflowing chains).  Must be >= 1.
+        Override the drain interval.  Must be >= 1; an interval past the
+        overflow-safe :func:`~repro.arm.ratios.smlal_chain_length` raises
+        :class:`~repro.errors.ChainOverflowError` at construction time.
+    allow_unsafe:
+        Skip the chain-length validation (tests use this to build
+        deliberately overflowing kernels for the overflow certification).
     """
     if bits not in SMLAL_SCHEME_BITS:
         raise UnsupportedBitsError(bits, "SMLAL scheme covers 4~8-bit")
@@ -108,6 +113,10 @@ def generate_smlal_kernel(
     interval = round_steps if round_steps is not None else round_interval(bits)
     if interval < 1:
         raise ShapeError(f"round interval must be >= 1, got {interval}")
+    safe = smlal_chain_length(bits)
+    # the effective chain never exceeds k (the final block is shorter)
+    if not allow_unsafe and min(interval, k) > safe:
+        raise ChainOverflowError(bits, min(interval, k), safe, "SMLAL")
 
     out: list[Instr] = []
     # prologue: clear every accumulator

@@ -114,19 +114,37 @@ class Backend(abc.ABC):
         """Fan independent per-conv pricing over a worker pool purely to
         warm the backend's memo caches; serial re-reads then assemble the
         actual report, so results are identical for any worker count
-        (``REPRO_JOBS`` applies when ``jobs`` is unset)."""
+        (``REPRO_JOBS`` applies when ``jobs`` is unset).
+
+        Warming is best-effort by contract: a failing item is counted
+        (``prewarm_errors``) and swallowed here, because the serial
+        pricing pass that follows re-raises — or gracefully degrades —
+        through the real error path.  Crashing a *warm-up* would turn an
+        optimization into a failure source."""
+        from ..obs import log as obs_log
+        from ..obs import metrics as obs_metrics
         from ..obs import trace as obs_trace
         from ..perf.parallel import ParallelRunner
 
         work = list(work)
         if len(work) < 2:
             return
+
+        def warm_one(w: PrewarmItem) -> None:
+            try:
+                self.price_conv(w[0], w[1], epilogue=w[2])
+            except Exception as exc:  # noqa: BLE001 - warming only
+                obs_metrics.counter("prewarm_errors", backend=self.name).inc()
+                obs_log.warning(
+                    "prewarm_failed", logger="repro.backends",
+                    backend=self.name, layer=w[0].name, bits=w[1],
+                    error=type(exc).__name__,
+                )
+
         with obs_trace.span(
             "backend.prewarm", backend=self.name, items=len(work)
         ):
-            ParallelRunner(jobs).map(
-                lambda w: self.price_conv(w[0], w[1], epilogue=w[2]), work
-            )
+            ParallelRunner(jobs).map(warm_one, work)
 
     def baselines(self) -> Dict[str, BaselineFn]:
         """Named library baselines this backend is evaluated against

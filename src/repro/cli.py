@@ -31,6 +31,12 @@ Commands
     Compare the newest ``bench --save`` ledger entry against a baseline:
     model cycles bit-identical, wall clock within a noise-aware median
     threshold.  Exits non-zero on regression (the CI gate).
+``chaos``
+    Run the :mod:`repro.resilience.chaos` scenarios: autotune under a
+    seeded transient-fault plan must return bit-identical winners,
+    the executor must degrade to the ``ref`` backend loudly, and
+    injected crashes at every persistence site must leave zero torn
+    files.  Exits non-zero when any invariant breaks.
 """
 
 from __future__ import annotations
@@ -69,7 +75,8 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         return 0
     registry = _figure_registry()
     if args.artifact not in registry:
-        print(f"unknown artifact {args.artifact!r}; try: python -m repro list",
+        choices = ", ".join([*sorted(registry), "tab1"])
+        print(f"unknown artifact {args.artifact!r}; valid choices: {choices}",
               file=sys.stderr)
         return 2
     data = registry[args.artifact](args)
@@ -242,6 +249,12 @@ def cmd_regress(args: argparse.Namespace) -> int:
     )
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .resilience.chaos import run_chaos
+
+    return run_chaos()
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -365,6 +378,12 @@ def build_parser() -> argparse.ArgumentParser:
     gp.add_argument("--no-wall", action="store_true",
                     help="demote wall-clock overruns to advisory warnings")
     gp.set_defaults(fn=cmd_regress)
+
+    sub.add_parser(
+        "chaos",
+        help="run the resilience chaos scenarios; non-zero exit on any "
+             "broken invariant",
+    ).set_defaults(fn=cmd_chaos)
     return p
 
 

@@ -42,6 +42,30 @@ class RegisterAllocationError(SimulationError):
     """A kernel generator ran out of architectural registers."""
 
 
+class ChainOverflowError(SimulationError):
+    """An accumulation-chain configuration that can overflow (Sec. 3.3).
+
+    Raised at *kernel-construction* time when a requested drain interval
+    exceeds the paper's overflow-safe chain length for the bit width
+    (SMLAL/int16: 511/127/31/8/2 for 4~8-bit; MLA/int8: 31/7 for
+    2~3-bit), so an unsafe kernel is rejected before it ever runs.
+    Tests that deliberately build overflowing chains pass
+    ``allow_unsafe=True`` to the generator instead.
+    """
+
+    def __init__(self, bits: int, requested: int, limit: int,
+                 scheme: str) -> None:
+        super().__init__(
+            f"{scheme} chain of {requested} steps at {bits}-bit exceeds the "
+            f"overflow-safe limit of {limit} (Sec. 3.3); pass "
+            f"allow_unsafe=True to build it anyway"
+        )
+        self.bits = bits
+        self.requested = requested
+        self.limit = limit
+        self.scheme = scheme
+
+
 class OverflowDetected(SimulationError):
     """The functional simulator detected an accumulator overflow.
 

@@ -25,8 +25,27 @@ Three layers make the search fast without changing its answer:
   device, kernel kwargs *and a fingerprint of the cost-model code*, so
   editing the model invalidates stale entries.
 
+A fourth layer keeps long sweeps alive when individual profile runs
+misbehave (TVM-style candidate isolation — Cowan et al. survive thousands
+of failing template instantiations by skipping them):
+
+* **hardened profile runs** — every candidate evaluation goes through
+  :func:`repro.resilience.policy.call_with_policy`: per-attempt timeout
+  (``REPRO_TIMEOUT_S``), bounded retry with exponential backoff
+  (``REPRO_RETRY`` / ``REPRO_BACKOFF_S``), and the deterministic
+  ``autotune.profile`` fault-injection site.  A candidate that fails
+  permanently lands in a :class:`~repro.resilience.policy.Quarantine`
+  (skipped by this and every later sweep in the process), the search
+  continues over the survivors, and the result carries a ``skipped``
+  tally — the sweep is *never* silently empty: if every candidate dies
+  the sweep raises :class:`~repro.errors.AutotuneError`.  When retries
+  absorb every (transient) fault, the winner and its cycle count are
+  bit-identical to the fault-free sweep — the chaos suite asserts it.
+
 ``autotune_reference`` keeps the original single-threaded exhaustive loop
-as the equivalence baseline for tests and ``python -m repro bench``.
+as the equivalence baseline for tests and ``python -m repro bench``; its
+profile runs wear the same retry armor so a seeded chaos plan cannot
+kill the baseline either.
 """
 
 from __future__ import annotations
@@ -41,6 +60,13 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..perf.cache import PersistentCache, code_fingerprint, stable_hash
 from ..perf.parallel import ParallelRunner
+from ..resilience import faults as res_faults
+from ..resilience.policy import (
+    ExecPolicy,
+    PermanentFailure,
+    Quarantine,
+    call_with_policy,
+)
 from ..types import ConvSpec, GemmShape
 from .device import GpuDevice, TU102
 from .pipelinemodel import GpuKernelPerf, conv_gemm_shape, kernel_lower_bound, kernel_time
@@ -57,10 +83,12 @@ class AutotuneResult:
     """Best configuration found by the profile sweep.
 
     ``candidates`` counts the legal search space; ``evaluated`` the
-    profile runs actually performed and ``pruned`` the candidates skipped
-    because their lower bound already exceeded the incumbent
-    (``evaluated + pruned == candidates``; an exhaustive sweep has
-    ``pruned == 0``).
+    profile runs actually performed, ``pruned`` the candidates skipped
+    because their lower bound already exceeded the incumbent, and
+    ``skipped`` the candidates dropped because their profile runs failed
+    permanently (quarantined — see the module docstring).
+    ``evaluated + pruned + skipped == candidates``; a clean exhaustive
+    sweep has ``pruned == skipped == 0``.
     """
 
     gemm: GemmShape
@@ -70,6 +98,7 @@ class AutotuneResult:
     candidates: int
     evaluated: int = 0
     pruned: int = 0
+    skipped: int = 0
 
     @property
     def best_cycles(self) -> float:
@@ -96,6 +125,7 @@ class AutotuneResult:
             "candidates": self.candidates,
             "evaluated": self.evaluated,
             "pruned": self.pruned,
+            "skipped": self.skipped,
         }
 
     @classmethod
@@ -123,6 +153,7 @@ class AutotuneResult:
             candidates=int(data["candidates"]),
             evaluated=int(data["evaluated"]),
             pruned=int(data["pruned"]),
+            skipped=int(data.get("skipped", 0)),
         )
 
 
@@ -142,6 +173,7 @@ def _tiling_from_json(v: list) -> TilingParams:
 _MEM_CACHE: dict[str, AutotuneResult] = {}
 _SPACE_CACHE: dict[tuple[int, GpuDevice], list[TilingParams]] = {}
 _STORE = PersistentCache("gpu-autotune")
+_QUARANTINE = Quarantine("autotune.profile")
 _LOCK = threading.Lock()
 
 _FINGERPRINT: str | None = None
@@ -162,10 +194,11 @@ def _code_version() -> str:
 
 def clear_cache(*, persistent: bool = False) -> None:
     """Drop memoized autotune results (the in-process cache always; the
-    on-disk store too with ``persistent=True``).  Public for tests and the
-    bench harness."""
+    on-disk store too with ``persistent=True``) and release quarantined
+    candidates.  Public for tests and the bench harness."""
     with _LOCK:
         _MEM_CACHE.clear()
+    _QUARANTINE.clear()
     if persistent:
         _STORE.clear()
 
@@ -173,6 +206,12 @@ def clear_cache(*, persistent: bool = False) -> None:
 def cache_store() -> PersistentCache:
     """The persistent store (exposed for stats/bench introspection)."""
     return _STORE
+
+
+def profile_quarantine() -> Quarantine:
+    """Candidates whose profile runs failed permanently this process
+    (exposed for chaos tests and the ``repro chaos`` report)."""
+    return _QUARANTINE
 
 
 @dataclass(frozen=True)
@@ -244,6 +283,48 @@ def _no_legal_tiling_error(
 # ---------------------------------------------------------------------------
 
 
+def _candidate_key(gemm: GemmShape, bits: int, tiling: TilingParams) -> str:
+    """Stable quarantine/fault key for one profile run."""
+    return (f"{gemm.m}x{gemm.k}x{gemm.n}/{bits}b/"
+            f"{'-'.join(str(v) for v in _tiling_to_json(tiling))}")
+
+
+def _guarded_profile(
+    gemm: GemmShape,
+    bits: int,
+    tiling: TilingParams,
+    device: GpuDevice,
+    policy: ExecPolicy,
+    kernel_kwargs: dict,
+) -> GpuKernelPerf | None:
+    """One profile run under the hardened policy.
+
+    Returns ``None`` when the candidate is (or becomes) quarantined:
+    already-quarantined candidates are skipped for free, and a run that
+    exhausts its retries quarantines the candidate so later sweeps never
+    pay for it again.  Transient failures absorbed by a retry leave no
+    trace in the result — the winner is identical to a fault-free sweep.
+    """
+    key = _candidate_key(gemm, bits, tiling)
+    if _QUARANTINE.contains(key):
+        obs_metrics.counter("autotune_skipped", reason="quarantined").inc()
+        return None
+
+    def attempt() -> GpuKernelPerf:
+        # inside the retry boundary so a transient injected fault is
+        # re-rolled (its `times` budget drains) on the next attempt
+        res_faults.inject("autotune.profile", key=key)
+        return kernel_time(gemm, bits, tiling, device=device, **kernel_kwargs)
+
+    try:
+        return call_with_policy(
+            attempt, site="autotune.profile", key=key, policy=policy)
+    except PermanentFailure as exc:
+        _QUARANTINE.add(key, reason=f"{type(exc.last).__name__}: {exc.last}")
+        obs_metrics.counter("autotune_skipped", reason="failed").inc()
+        return None
+
+
 def _search_pruned(
     gemm: GemmShape,
     bits: int,
@@ -275,9 +356,11 @@ def _search_pruned(
         ]
         order = sorted(range(len(space)), key=lambda i: (bounds[i], i))
         runner = ParallelRunner(jobs)
+        policy = ExecPolicy.resolve()
 
-        def profile(i: int) -> GpuKernelPerf:
-            return kernel_time(gemm, bits, space[i], device=device, **kernel_kwargs)
+        def profile(i: int) -> GpuKernelPerf | None:
+            return _guarded_profile(
+                gemm, bits, space[i], device, policy, kernel_kwargs)
 
         # per-candidate bound-gap detail only while a tracer is installed:
         # observing one histogram per profile run is wasted work otherwise
@@ -285,6 +368,7 @@ def _search_pruned(
         best_key: tuple[float, int] | None = None
         best_perf: GpuKernelPerf | None = None
         evaluated = 0
+        skipped = 0
         pos = 0
         while pos < len(order):
             if prune and best_key is not None and bounds[order[pos]] > best_key[0]:
@@ -292,6 +376,9 @@ def _search_pruned(
             chunk = order[pos:pos + _CHUNK]
             pos += len(chunk)
             for i, perf in zip(chunk, runner.map(profile, chunk, chunksize=4)):
+                if perf is None:  # quarantined: search the survivors
+                    skipped += 1
+                    continue
                 evaluated += 1
                 if observe_gaps:
                     obs_metrics.histogram(
@@ -300,7 +387,13 @@ def _search_pruned(
                 key = (perf.total_cycles, i)
                 if best_key is None or key < best_key:
                     best_key, best_perf = key, perf
-        assert best_perf is not None  # space is non-empty
+        if best_perf is None:
+            # never silently empty: every candidate failed or was skipped
+            raise AutotuneError(
+                f"autotune sweep for {gemm} at {bits}-bit on {device.name} "
+                f"produced no survivor: {skipped} of {len(space)} candidates "
+                f"failed permanently (quarantined)"
+            )
         result = AutotuneResult(
             gemm=gemm,
             bits=bits,
@@ -308,7 +401,8 @@ def _search_pruned(
             best_perf=best_perf,
             candidates=len(space),
             evaluated=evaluated,
-            pruned=len(space) - evaluated,
+            pruned=len(space) - evaluated - skipped,
+            skipped=skipped,
         )
     _count_sweep(result, engine="pruned")
     return result
@@ -331,25 +425,41 @@ def autotune_reference(
     device: GpuDevice = TU102,
     **kernel_kwargs,
 ) -> AutotuneResult:
-    """The original serial exhaustive sweep, kept verbatim as the
-    equivalence baseline: no pruning, no parallelism, no caching of any
-    kind.  ``python -m repro bench`` times the engine against this."""
+    """The original serial exhaustive sweep, kept as the equivalence
+    baseline: no pruning, no parallelism, no caching of any kind.
+    ``python -m repro bench`` times the engine against this.  Profile
+    runs wear the same retry/quarantine armor as the engine so a chaos
+    plan degrades the baseline identically instead of killing it."""
     best: TilingParams | None = None
     best_perf: GpuKernelPerf | None = None
+    policy = ExecPolicy.resolve()
     count = 0
+    evaluated = 0
+    skipped = 0
     with obs_trace.span(
         "autotune.reference", gemm=f"{gemm.m}x{gemm.k}x{gemm.n}", bits=bits
     ):
         for tiling in search_space(bits, device=device):
             count += 1
-            perf = kernel_time(gemm, bits, tiling, device=device, **kernel_kwargs)
+            perf = _guarded_profile(
+                gemm, bits, tiling, device, policy, kernel_kwargs)
+            if perf is None:
+                skipped += 1
+                continue
+            evaluated += 1
             if best_perf is None or perf.total_cycles < best_perf.total_cycles:
                 best, best_perf = tiling, perf
-    if best is None or best_perf is None:
+    if count == 0:
         raise _no_legal_tiling_error(gemm, bits, device)
+    if best is None or best_perf is None:
+        raise AutotuneError(
+            f"reference sweep for {gemm} at {bits}-bit on {device.name} "
+            f"produced no survivor: {skipped} of {count} candidates failed "
+            f"permanently (quarantined)"
+        )
     result = AutotuneResult(
         gemm=gemm, bits=bits, best=best, best_perf=best_perf,
-        candidates=count, evaluated=count, pruned=0,
+        candidates=count, evaluated=evaluated, pruned=0, skipped=skipped,
     )
     _count_sweep(result, engine="reference")
     return result

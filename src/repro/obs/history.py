@@ -14,9 +14,15 @@
   median-of-N threshold, never bit-wise);
 * the full ``repro.obs`` metrics snapshot of the run.
 
-The ledger is plain JSONL on purpose: append is one ``O_APPEND`` write,
-history survives any crash mid-run, and corrupt lines are counted and
-skipped — mirroring :mod:`repro.perf.cache`'s never-silent degradation.
+The ledger is plain JSONL on purpose: append is one fsynced ``O_APPEND``
+write (:func:`repro.resilience.atomic.atomic_append_line`, fault site
+``history.append``), history survives any crash mid-run, and corrupt
+lines are counted and skipped — mirroring :mod:`repro.perf.cache`'s
+never-silent degradation.  On every open the ledger runs startup
+recovery (:func:`repro.resilience.atomic.recover_jsonl`): a torn tail
+left by a ``kill -9`` mid-append is moved into ``.quarantine/`` and
+truncated away, so readers — and the next appender — only ever see
+complete records.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ import pathlib
 import subprocess
 from typing import Any
 
+from ..resilience import atomic as res_atomic
 from . import log as obs_log
 from . import metrics as obs_metrics
 
@@ -99,20 +106,37 @@ class BenchLedger:
     def path(self) -> pathlib.Path:
         return self.root / LEDGER_NAME
 
+    def recover(self) -> int:
+        """Startup recovery: quarantine + truncate a torn tail, if any.
+        Returns the torn byte count (0 for a clean or absent ledger)."""
+        return res_atomic.recover_jsonl(self.path)
+
     def append(self, entry: dict) -> pathlib.Path:
-        """Append one entry (single atomic-enough JSONL line)."""
+        """Append one entry as a single fsynced ``O_APPEND`` line.
+
+        Runs recovery first so a new record is never glued onto a torn
+        tail from a crashed predecessor.  Raises ``OSError`` (or an
+        injected fault) on failure — callers for whom history is
+        optional catch and degrade.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
+        self.recover()
         line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
+        res_atomic.atomic_append_line(
+            self.path, line,
+            site="history.append", key=str(entry.get("run_id", "")),
+        )
         obs_metrics.counter("ledger_entries", outcome="appended").inc()
         return self.path
 
     def entries(self) -> list[dict]:
-        """Every parseable entry, oldest first; corrupt lines are counted
-        (``ledger_entries{outcome=corrupt}``), warned about, and skipped."""
+        """Every parseable entry, oldest first; a torn tail is recovered
+        (quarantined + truncated) first, and corrupt interior lines are
+        counted (``ledger_entries{outcome=corrupt}``), warned about, and
+        skipped."""
         if not self.path.is_file():
             return []
+        self.recover()
         out: list[dict] = []
         for i, line in enumerate(
             self.path.read_text(encoding="utf-8").splitlines()

@@ -33,10 +33,12 @@ from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from ..obs import log as obs_log
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..perf.cache import CACHE_DIR_ENV
 from ..perf.parallel import resolve_jobs
+from ..resilience import atomic as res_atomic
 
 #: bump when the BENCH_*.json layout changes
 #: v2: added the ``metrics`` block (repro.obs registry snapshot)
@@ -321,7 +323,10 @@ def run_bench(
     out_dir.mkdir(parents=True, exist_ok=True)
     suffix = "smoke" if smoke else f"{model}_b{batch}"
     path = out_dir / f"BENCH_autotune_{suffix}.json"
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    # atomic + fsynced: a crash mid-write leaves the previous report (or
+    # nothing), never a torn BENCH_*.json for CI to choke on
+    res_atomic.atomic_write_json(
+        path, payload, site="bench.write", key=path.name, indent=2)
 
     echo(f"== bench: {model} batch {batch}"
          f"{' (smoke)' if smoke else ''} ==")
@@ -346,11 +351,10 @@ def run_bench(
         echo(f"wrote trace {tpath}")
     if metrics_path is not None:
         mpath = pathlib.Path(metrics_path)
-        mpath.parent.mkdir(parents=True, exist_ok=True)
         # sort_keys keeps the file byte-stable and diffable across runs
-        mpath.write_text(
-            json.dumps(payload["metrics"], indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
+        res_atomic.atomic_write_json(
+            mpath, payload["metrics"],
+            site="bench.metrics", key=mpath.name, indent=2, sort_keys=True,
         )
         echo(f"wrote metrics {mpath}")
     if not (identical_best and identical_series):
@@ -389,6 +393,20 @@ def run_bench(
             wall_seconds=wall,
             metrics_snapshot=payload["metrics"],
         )
-        ledger_path = BenchLedger(history_dir).append(entry)
-        echo(f"appended ledger entry {entry['run_id']} -> {ledger_path}")
+        from ..errors import ReproError
+
+        try:
+            ledger_path = BenchLedger(history_dir).append(entry)
+        except (OSError, ReproError) as exc:
+            # the bench run itself succeeded and its report is on disk;
+            # losing one history line degrades, it does not fail the run
+            obs_metrics.counter("ledger_entries", outcome="failed").inc()
+            obs_log.warning(
+                "ledger_append_failed", logger="repro.perf.bench",
+                error=type(exc).__name__,
+            )
+            echo(f"WARNING: ledger append failed ({type(exc).__name__}); "
+                 f"run not recorded in history")
+        else:
+            echo(f"appended ledger entry {entry['run_id']} -> {ledger_path}")
     return path

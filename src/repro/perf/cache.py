@@ -20,14 +20,24 @@ Design rules:
   the modules that produce the value into the key, so editing a cost
   model invalidates stale entries instead of replaying them.
 * **The cache is an optimization, never a failure source.**  Unreadable
-  directories, truncated/corrupt JSON, or racing writers degrade to a
-  cache miss; writes go through a temp file + ``os.replace`` so readers
-  never observe a partial entry.  Setting ``REPRO_NO_CACHE=1`` disables
-  all disk traffic.
+  directories, truncated/corrupt JSON, injected faults, or racing
+  writers degrade to a cache miss; writes go through
+  :func:`repro.resilience.atomic.atomic_write_text`
+  (temp file + fsync + ``os.replace``) so readers never observe a
+  partial entry even across ``kill -9``.  Setting ``REPRO_NO_CACHE=1``
+  disables all disk traffic.
+* **Corruption is quarantined, not just tolerated.**  A corrupt entry is
+  moved into the ``.quarantine/`` sibling directory (keeping the
+  specimen for debugging) so the next lookup is a clean
+  ``FileNotFoundError`` miss instead of re-parsing garbage forever.
 * **Degradation is never silent.**  Every tolerated corruption or failed
   write increments a :mod:`repro.obs.metrics` counter (``cache_corrupt``,
   ``cache_put_errors``) and emits a structured ``repro.obs.log`` warning,
   and every lookup lands in ``cache_lookups{namespace=...,outcome=...}``.
+* **Chaos-testable.**  ``get``/``put`` run under the
+  :mod:`repro.resilience.faults` sites ``cache.get`` / ``cache.put``
+  (plus the ``cache.put.tmp`` crash window inside the atomic writer), so
+  a seeded fault plan can prove every degradation path above.
 """
 
 from __future__ import annotations
@@ -39,11 +49,13 @@ import inspect
 import json
 import os
 import pathlib
-import tempfile
 from typing import Any, Iterable
 
 from ..obs import log as obs_log
 from ..obs import metrics as obs_metrics
+from ..resilience import atomic as res_atomic
+from ..resilience import faults as res_faults
+from ..resilience.faults import InjectedFault
 
 #: environment variable overriding the on-disk cache root
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -193,7 +205,9 @@ class PersistentCache:
 
     def _degrade(self, path: pathlib.Path, exc: BaseException | None,
                  reason: str) -> None:
-        """A corrupt/unreadable entry tolerated as a miss — but signaled."""
+        """A corrupt/unreadable entry tolerated as a miss — but signaled,
+        and the offending file is quarantined so the next lookup misses
+        cleanly instead of re-parsing the same garbage."""
         self.stats.misses += 1
         self.stats.errors += 1
         self._count_lookup("miss")
@@ -206,6 +220,8 @@ class PersistentCache:
             reason=reason,
             error=type(exc).__name__ if exc is not None else "none",
         )
+        if path.exists():
+            res_atomic.quarantine_file(path, reason=f"cache-{reason}")
 
     def get(self, digest: str) -> dict | None:
         """The stored entry, or ``None`` on miss/corruption/disablement."""
@@ -213,16 +229,18 @@ class PersistentCache:
             return None
         path = self.path_for(digest)
         try:
+            res_faults.inject("cache.get", key=digest)
             with open(path, "r", encoding="utf-8") as fh:
                 value = json.load(fh)
         except FileNotFoundError:
             self.stats.misses += 1
             self._count_lookup("miss")
             return None
-        except (OSError, ValueError, UnicodeDecodeError) as exc:
+        except (OSError, ValueError, UnicodeDecodeError, InjectedFault) as exc:
             # truncated/corrupt/unreadable entry: a miss, never a crash
             self._degrade(path, exc, "unreadable-or-invalid-json")
             return None
+        value = res_faults.maybe_garbage("cache.get", value, key=digest)
         if not isinstance(value, dict):
             self._degrade(path, None, "entry-not-a-dict")
             return None
@@ -236,18 +254,16 @@ class PersistentCache:
             return False
         path = self.path_for(digest)
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=path.parent, prefix=f".{digest[:8]}-", suffix=".tmp"
+            # fsync=False: rename atomicity alone makes entries kill-safe
+            # (readers see old-or-new, never torn); skipping the fsync
+            # keeps hot-sweep puts off the disk-flush path.  Power-loss
+            # durability is not a cache's contract — a lost entry is a
+            # recomputable miss.
+            res_atomic.atomic_write_text(
+                path, json.dumps(value, separators=(",", ":")),
+                site="cache.put", key=digest, fsync=False,
             )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                    json.dump(value, fh, separators=(",", ":"))
-                os.replace(tmp, path)
-            finally:
-                if os.path.exists(tmp):
-                    os.unlink(tmp)
-        except (OSError, TypeError, ValueError) as exc:
+        except (OSError, TypeError, ValueError, InjectedFault) as exc:
             self.stats.errors += 1
             obs_metrics.counter(
                 "cache_put_errors", namespace=self.namespace

@@ -29,6 +29,7 @@ from typing import Callable, Iterable, Sequence, TypeVar
 from ..obs import log as obs_log
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
+from ..resilience import faults as res_faults
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -110,6 +111,9 @@ class ParallelRunner:
         n = len(items)
         if n == 0:
             return []
+        # chaos hook: a fault plan can fail/delay whole map calls here,
+        # proving callers survive executor-level trouble deterministically
+        res_faults.inject("parallel.map", key=f"{self.mode}:{n}")
         if self.mode == "serial" or n == 1:
             with obs_trace.span("parallel.map", mode="serial", items=n):
                 return [fn(x) for x in items]
@@ -137,6 +141,9 @@ class ParallelRunner:
             observe = obs_trace.active()
 
             def run_chunk(idx: range) -> list[R]:
+                # keyed by chunk start: deterministic no matter which
+                # worker thread picks the chunk up
+                res_faults.inject("parallel.chunk", key=str(idx.start))
                 if not observe:
                     return [fn(items[i]) for i in idx]
                 # per-worker task timing: the span lands on the worker

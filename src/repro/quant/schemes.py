@@ -27,7 +27,9 @@ def compute_scale(max_abs: float | np.ndarray, qrange: QRange) -> np.ndarray:
 
     Accepts a scalar (per-tensor) or an array (per-channel) of magnitudes.
     A zero magnitude yields scale 1.0 (the tensor is all zeros; any scale
-    round-trips it exactly).
+    round-trips it exactly), and so does a denormal magnitude whose
+    ``max_abs / edge`` underflows to 0.0 — the quantizer needs a strictly
+    positive scale, and values that small clip to 0 under any scale.
     """
     max_abs = np.asarray(max_abs, dtype=np.float64)
     if np.any(max_abs < 0):
@@ -36,7 +38,7 @@ def compute_scale(max_abs: float | np.ndarray, qrange: QRange) -> np.ndarray:
     if edge == 0:
         raise QuantizationError(f"degenerate quantization range {qrange}")
     scale = np.where(max_abs > 0, max_abs / edge, 1.0)
-    return scale
+    return np.where(scale > 0, scale, 1.0)
 
 
 def quantize_linear(

@@ -1,0 +1,241 @@
+"""Hardened execution policy: bounded retry, timeout, quarantine.
+
+TVM-style operator autotuners survive thousands of failing candidates by
+isolating each profile run and skipping the ones that keep dying (Cowan
+et al.).  :func:`call_with_policy` is that isolation boundary for our
+simulated profile runs and other retryable unit work:
+
+* **fast path** — with no timeout configured, the call is a plain
+  ``fn()`` inside ``try``; zero threads, zero overhead on success;
+* **bounded retry** — library errors (:class:`~repro.errors.ReproError`,
+  which includes injected faults) and timeouts are retried up to
+  ``retries`` times with exponential backoff (``backoff_s * 2**attempt``,
+  deterministic, no jitter — reproducibility beats thundering-herd
+  avoidance inside one process);
+* **timeout** — with ``timeout_s`` set, the call runs on a daemon worker
+  thread and is abandoned when the clock expires (the only portable
+  option for pure-python work; the stuck thread finishes in the
+  background while the search moves on);
+* **permanent failure** — when every attempt fails the last error is
+  re-raised wrapped in :class:`PermanentFailure`, and the caller decides:
+  the autotuner quarantines the candidate and continues over survivors,
+  the executor falls back to the ``ref`` backend.
+
+Environment defaults (read per call, so tests can flip them):
+
+* ``REPRO_RETRY``     — retry count after the first attempt (default 2)
+* ``REPRO_TIMEOUT_S`` — per-attempt wall-clock timeout (default: none)
+* ``REPRO_BACKOFF_S`` — backoff base seconds (default 0.05)
+
+Everything lands in metrics: ``resilience_retries{site=}``,
+``resilience_timeouts{site=}``, ``resilience_permanent_failures{site=}``,
+``resilience_quarantined{site=}``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+from ..errors import ReproError
+from ..obs import log as obs_log
+from ..obs import metrics as obs_metrics
+
+T = TypeVar("T")
+
+RETRY_ENV = "REPRO_RETRY"
+TIMEOUT_ENV = "REPRO_TIMEOUT_S"
+BACKOFF_ENV = "REPRO_BACKOFF_S"
+
+_DEFAULT_RETRIES = 2
+_DEFAULT_BACKOFF_S = 0.05
+
+
+class PermanentFailure(ReproError):
+    """Every attempt of a policy-guarded call failed."""
+
+    def __init__(self, site: str, key: str, attempts: int,
+                 last: BaseException) -> None:
+        super().__init__(
+            f"{site!r} failed permanently after {attempts} attempt(s) "
+            f"(key={key!r}): {type(last).__name__}: {last}"
+        )
+        self.site = site
+        self.key = key
+        self.attempts = attempts
+        self.last = last
+
+
+class CallTimeout(ReproError):
+    """One attempt exceeded the policy's wall-clock budget."""
+
+    def __init__(self, site: str, timeout_s: float) -> None:
+        super().__init__(f"{site!r} timed out after {timeout_s:g}s")
+        self.site = site
+        self.timeout_s = timeout_s
+
+
+def _env_float(name: str, default: float | None) -> float | None:
+    text = os.environ.get(name, "").strip()
+    if not text:
+        return default
+    try:
+        return float(text)
+    except ValueError:
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    text = os.environ.get(name, "").strip()
+    if not text:
+        return default
+    try:
+        return max(0, int(text))
+    except ValueError:
+        return default
+
+
+@dataclass(frozen=True)
+class ExecPolicy:
+    """Retry/timeout knobs for one class of guarded calls."""
+
+    retries: int = _DEFAULT_RETRIES
+    timeout_s: float | None = None
+    backoff_s: float = _DEFAULT_BACKOFF_S
+
+    @classmethod
+    def resolve(
+        cls,
+        *,
+        retries: int | None = None,
+        timeout_s: float | None = None,
+        backoff_s: float | None = None,
+    ) -> "ExecPolicy":
+        """Explicit args > environment > defaults."""
+        return cls(
+            retries=retries if retries is not None
+            else _env_int(RETRY_ENV, _DEFAULT_RETRIES),
+            timeout_s=timeout_s if timeout_s is not None
+            else _env_float(TIMEOUT_ENV, None),
+            backoff_s=backoff_s if backoff_s is not None
+            else _env_float(BACKOFF_ENV, _DEFAULT_BACKOFF_S) or 0.0,
+        )
+
+
+def _run_with_timeout(fn: Callable[[], T], timeout_s: float, site: str) -> T:
+    """Run ``fn`` on a daemon thread; abandon it past ``timeout_s``."""
+    result: list[Any] = []
+    error: list[BaseException] = []
+
+    def worker() -> None:
+        try:
+            result.append(fn())
+        except BaseException as exc:  # noqa: BLE001 - re-raised on the caller
+            error.append(exc)
+
+    thread = threading.Thread(
+        target=worker, name=f"policy-{site}", daemon=True)
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise CallTimeout(site, timeout_s)
+    if error:
+        raise error[0]
+    return result[0]
+
+
+def call_with_policy(
+    fn: Callable[[], T],
+    *,
+    site: str,
+    key: str = "",
+    policy: ExecPolicy | None = None,
+    retry_on: tuple[type[BaseException], ...] = (ReproError,),
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """``fn()`` under retry/timeout; raises :class:`PermanentFailure`.
+
+    ``retry_on`` classifies retryable errors — anything else (e.g. a
+    programming error like ``TypeError``) propagates immediately on the
+    first attempt, exactly as an unguarded call would.
+    """
+    policy = policy if policy is not None else ExecPolicy.resolve()
+    attempts = policy.retries + 1
+    last: BaseException | None = None
+    for attempt in range(attempts):
+        try:
+            if policy.timeout_s is not None and policy.timeout_s > 0:
+                return _run_with_timeout(fn, policy.timeout_s, site)
+            return fn()
+        except CallTimeout as exc:
+            last = exc
+            obs_metrics.counter("resilience_timeouts", site=site).inc()
+            obs_log.warning(
+                "call_timeout", logger="repro.resilience.policy",
+                site=site, key=key, attempt=attempt + 1,
+                timeout_s=policy.timeout_s,
+            )
+        except retry_on as exc:
+            last = exc
+        if attempt + 1 < attempts:
+            obs_metrics.counter("resilience_retries", site=site).inc()
+            obs_log.info(
+                "call_retry", logger="repro.resilience.policy",
+                site=site, key=key, attempt=attempt + 1,
+                error=type(last).__name__,
+            )
+            if policy.backoff_s > 0:
+                sleep(policy.backoff_s * (2 ** attempt))
+    assert last is not None
+    obs_metrics.counter("resilience_permanent_failures", site=site).inc()
+    obs_log.warning(
+        "call_permanent_failure", logger="repro.resilience.policy",
+        site=site, key=key, attempts=attempts, error=type(last).__name__,
+    )
+    raise PermanentFailure(site, key, attempts, last)
+
+
+class Quarantine:
+    """Inputs that failed permanently and should be skipped, per site.
+
+    A thin thread-safe set with failure provenance; sweeps consult
+    :meth:`contains` up front (skipping costs nothing) and :meth:`add`
+    on :class:`PermanentFailure`.  In-process only by design: a
+    quarantined *simulated* candidate is a code bug or an injected
+    fault, and pinning it across processes would mask the fix.
+    """
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        self._entries: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def add(self, key: str, reason: str = "") -> None:
+        with self._lock:
+            fresh = key not in self._entries
+            self._entries[key] = reason
+        if fresh:
+            obs_metrics.counter("resilience_quarantined", site=self.site).inc()
+            obs_log.warning(
+                "quarantined", logger="repro.resilience.policy",
+                site=self.site, key=key, reason=reason,
+            )
+
+    def contains(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def entries(self) -> dict[str, str]:
+        with self._lock:
+            return dict(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

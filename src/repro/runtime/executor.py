@@ -10,8 +10,10 @@ import numpy as np
 from ..backends import Backend, get_backend
 from ..conv.ref import conv2d_ref
 from ..errors import ReproError
+from ..obs import log as obs_log
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
+from ..resilience import faults as res_faults
 from ..quant.ranges import scheme_qrange
 from ..quant.schemes import dequantize_linear, quantize_linear, requantize
 from ..types import ConvSpec, Layout
@@ -142,6 +144,36 @@ def _prewarm_conv_costs(graph: Graph, backend: Backend, jobs: int | None) -> Non
     backend.prewarm(work, jobs=jobs)
 
 
+def _price_conv_with_fallback(
+    be: Backend, spec: ConvSpec, bits: int, epilogue: str
+):
+    """Price one conv; a backend failure degrades to the ``ref`` backend.
+
+    A pricing failure on one layer (a cost-model bug, a quarantined-empty
+    autotune sweep, an injected fault at the ``executor.price_conv``
+    site) must not take down the whole graph report: the layer is
+    re-priced on the pure op-count ``ref`` backend with a warning and a
+    ``resilience_fallbacks`` counter bump.  The ``ref`` backend itself
+    has no fallback — its failures (and programming errors, which are
+    not :class:`ReproError`) propagate.
+    """
+    try:
+        res_faults.inject(
+            "executor.price_conv", key=f"{be.name}:{spec.name}:{bits}")
+        return be.price_conv(spec, bits, epilogue=epilogue)
+    except ReproError as exc:
+        if be.name == "ref":
+            raise
+        obs_metrics.counter(
+            "resilience_fallbacks", backend=be.name, op="conv").inc()
+        obs_log.warning(
+            "price_conv_fallback", logger="repro.runtime.executor",
+            backend=be.name, layer=spec.name, bits=bits,
+            error=type(exc).__name__,
+        )
+        return get_backend("ref").price_conv(spec, bits, epilogue=epilogue)
+
+
 def estimate_graph_cycles(
     graph: Graph, backend: "str | Backend" = "gpu", *, jobs: int | None = None
 ) -> GraphCostReport:
@@ -156,6 +188,10 @@ def estimate_graph_cycles(
     :class:`Backend` instance.  ``jobs`` bounds the parallel prewarm of
     the per-conv costs (``REPRO_JOBS`` applies when unset); the report
     itself is assembled serially and is identical for any worker count.
+
+    Per-conv pricing degrades gracefully: a failing backend price falls
+    back to the ``ref`` backend (see :func:`_price_conv_with_fallback`)
+    instead of crashing the report.
     """
     be = get_backend(backend)
     with obs_trace.span("executor.prewarm", cat="executor", backend=be.name):
@@ -168,8 +204,8 @@ def estimate_graph_cycles(
             spec: ConvSpec = op.attrs["spec"]
             bits = op.attrs["bits"]
             last_elems = spec.output_elems
-            price = be.price_conv(
-                spec, bits, epilogue=op.attrs.get("epilogue", "requant")
+            price = _price_conv_with_fallback(
+                be, spec, bits, op.attrs.get("epilogue", "requant")
             )
             report.op_cycles.append((repr(op), price.graph_cycles))
         else:

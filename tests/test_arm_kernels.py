@@ -14,7 +14,12 @@ from repro.arm.kernels import (
 from repro.arm.kernels.popcount_scheme import execute_popcount
 from repro.arm.ratios import mla_chain_length, smlal_chain_length
 from repro.conv.padding import pack_a, pack_b
-from repro.errors import OverflowDetected, ShapeError, UnsupportedBitsError
+from repro.errors import (
+    ChainOverflowError,
+    OverflowDetected,
+    ShapeError,
+    UnsupportedBitsError,
+)
 
 
 def run_gemm_kernel(kern, a, b, **kw):
@@ -118,7 +123,8 @@ def test_one_past_chain_overflows_smlal(bits):
     worst = -(half - 1) if bits >= 7 else -half
     a = np.full((16, k), worst, dtype=np.int8)
     b = np.full((k, 4), worst, dtype=np.int8)
-    kern = generate_smlal_kernel(bits, k, round_steps=k)  # drain too late
+    # drain too late: needs allow_unsafe past the construction-time check
+    kern = generate_smlal_kernel(bits, k, round_steps=k, allow_unsafe=True)
     with pytest.raises(OverflowDetected):
         run_gemm_kernel(kern, a, b, check_overflow=True)
 
@@ -141,9 +147,39 @@ def test_one_past_chain_overflows_mla(bits):
     half = 1 << (bits - 1)
     a = np.full((64, k), -half, dtype=np.int8)
     b = np.full((k, 1), -half, dtype=np.int8)
-    kern = generate_mla_kernel(bits, k, chain_steps=k)
+    kern = generate_mla_kernel(bits, k, chain_steps=k, allow_unsafe=True)
     with pytest.raises(OverflowDetected):
         run_gemm_kernel(kern, a, b, check_overflow=True)
+
+
+@pytest.mark.parametrize("bits", [4, 5, 6, 7, 8])
+def test_unsafe_smlal_chain_rejected_at_construction(bits):
+    """A drain interval past the Sec. 3.3 safe chain is a typed error."""
+    chain = smlal_chain_length(bits)
+    k = chain + 1
+    with pytest.raises(ChainOverflowError) as exc:
+        generate_smlal_kernel(bits, k, round_steps=k)
+    assert exc.value.bits == bits
+    assert exc.value.limit == chain
+    assert exc.value.requested == k
+
+
+@pytest.mark.parametrize("bits", [2, 3])
+def test_unsafe_mla_chain_rejected_at_construction(bits):
+    chain = mla_chain_length(bits)
+    with pytest.raises(ChainOverflowError) as exc:
+        generate_mla_kernel(bits, chain + 1, chain_steps=chain + 1)
+    assert exc.value.limit == chain
+    assert exc.value.scheme == "MLA"
+
+
+def test_long_k_with_safe_interval_is_fine():
+    """A long reduction with the *default* interval never trips the
+    construction check — only the interval matters, not k."""
+    kern = generate_smlal_kernel(8, 700)  # chain limit 2, k >> limit
+    assert kern.k == 700
+    kern2 = generate_mla_kernel(3, 200)
+    assert kern2.k == 200
 
 
 # ---------------------------------------------------------------------------

@@ -31,6 +31,11 @@ def test_reproduce_fig13(capsys):
 
 def test_reproduce_unknown(capsys):
     assert main(["reproduce", "fig99"]) == 2
+    err = capsys.readouterr().err
+    # one line, lists the valid choices, no traceback
+    assert err.count("\n") == 1
+    assert "fig99" in err and "fig13" in err and "tab1" in err
+    assert "Traceback" not in err
 
 
 def test_layers(capsys):
@@ -132,6 +137,31 @@ def test_report_text(capsys):
 
 def test_report_unknown_backend(capsys):
     assert main(["report", "--backend", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1
+    assert "nope" in err and "arm" in err and "gpu" in err and "ref" in err
+    assert "Traceback" not in err
+
+
+def test_layers_unknown_backend(capsys):
+    assert main(["layers", "resnet50", "--backend", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1
+    assert "nope" in err and "arm" in err and "ref" in err
+    assert "Traceback" not in err
+
+
+def test_profile_unknown_backend(capsys):
+    assert main(["profile", "resnet50", "--backend", "nope"]) == 2
+    out = capsys.readouterr().out
+    assert "nope" in out and "Traceback" not in out
+
+
+def test_chaos_command_registered():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["chaos"])
+    assert args.command == "chaos"
 
 
 def test_bad_command():

@@ -20,6 +20,16 @@ from repro.perf.cache import (
     default_cache_root,
     stable_hash,
 )
+from repro.resilience.faults import fault_plan
+
+
+@pytest.fixture(autouse=True)
+def _no_faults():
+    """These tests assert *exact* store mechanics (hand-made corruption,
+    error counts, specimen files), so an env fault plan — e.g. CI's chaos
+    job exporting REPRO_FAULTS over the whole suite — must be masked."""
+    with fault_plan(None):
+        yield
 
 
 # ---------------------------------------------------------------------------
@@ -143,6 +153,39 @@ def test_corruption_is_counted_and_warned_not_silent(store, caplog):
     assert snap["counters"][
         "cache_lookups{namespace=test-ns,outcome=miss}"] == 1
     obs_metrics.reset()
+
+
+def test_corrupt_entry_quarantined_then_clean_miss(store):
+    """Regression: a corrupt entry must be *moved* to ``.quarantine/``,
+    not left in place — the second lookup is a plain FileNotFoundError
+    miss (no re-parse, no second corruption warning) and the specimen
+    survives for debugging."""
+    from repro.resilience.atomic import quarantine_dir_for
+
+    digest = stable_hash("quarantine-me")
+    store.put(digest, {"v": 1})
+    path = store.path_for(digest)
+    path.write_text("{torn mid-write", encoding="utf-8")
+
+    assert store.get(digest) is None
+    assert not path.exists(), "corrupt entry must leave the namespace"
+    qdir = quarantine_dir_for(path)
+    specimens = list(qdir.iterdir())
+    assert len(specimens) == 1
+    assert specimens[0].read_text(encoding="utf-8") == "{torn mid-write"
+
+    errors_after_first = store.stats.errors
+    assert store.get(digest) is None  # clean miss now
+    assert store.stats.errors == errors_after_first
+
+    # repeated corruption of the same entry keeps every specimen
+    path.write_text("{torn again", encoding="utf-8")
+    assert store.get(digest) is None
+    assert len(list(qdir.iterdir())) == 2
+
+    # quarantined files are invisible to len()/clear() (namespace *.json)
+    store.put(digest, {"v": 2})
+    assert store.get(digest) == {"v": 2}
 
 
 def test_non_dict_entry_is_a_miss(store):

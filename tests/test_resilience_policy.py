@@ -1,0 +1,202 @@
+"""Hardened execution policy: retry, backoff, timeout, quarantine."""
+
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.resilience.policy import (
+    BACKOFF_ENV,
+    RETRY_ENV,
+    TIMEOUT_ENV,
+    CallTimeout,
+    ExecPolicy,
+    PermanentFailure,
+    Quarantine,
+    call_with_policy,
+)
+
+
+# ---------------------------------------------------------------------------
+# Policy resolution
+# ---------------------------------------------------------------------------
+
+
+def test_defaults(monkeypatch):
+    for var in (RETRY_ENV, TIMEOUT_ENV, BACKOFF_ENV):
+        monkeypatch.delenv(var, raising=False)
+    policy = ExecPolicy.resolve()
+    assert policy.retries == 2
+    assert policy.timeout_s is None
+    assert policy.backoff_s == pytest.approx(0.05)
+
+
+def test_env_overrides(monkeypatch):
+    monkeypatch.setenv(RETRY_ENV, "5")
+    monkeypatch.setenv(TIMEOUT_ENV, "1.5")
+    monkeypatch.setenv(BACKOFF_ENV, "0")
+    policy = ExecPolicy.resolve()
+    assert policy.retries == 5
+    assert policy.timeout_s == 1.5
+    assert policy.backoff_s == 0.0
+
+
+def test_explicit_beats_env(monkeypatch):
+    monkeypatch.setenv(RETRY_ENV, "5")
+    assert ExecPolicy.resolve(retries=1).retries == 1
+
+
+def test_garbage_env_falls_back(monkeypatch):
+    monkeypatch.setenv(RETRY_ENV, "lots")
+    monkeypatch.setenv(TIMEOUT_ENV, "soon")
+    policy = ExecPolicy.resolve()
+    assert policy.retries == 2 and policy.timeout_s is None
+
+
+# ---------------------------------------------------------------------------
+# Retry semantics
+# ---------------------------------------------------------------------------
+
+
+def test_transient_failure_succeeds_on_retry():
+    calls = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise ReproError("transient")
+        return "winner"
+
+    policy = ExecPolicy(retries=2, backoff_s=0.0)
+    assert call_with_policy(flaky, site="t", policy=policy) == "winner"
+    assert len(calls) == 3
+
+
+def test_permanent_failure_wraps_last_error():
+    def dead():
+        raise ReproError("always")
+
+    policy = ExecPolicy(retries=2, backoff_s=0.0)
+    with pytest.raises(PermanentFailure) as exc:
+        call_with_policy(dead, site="t", key="k1", policy=policy)
+    assert exc.value.attempts == 3
+    assert exc.value.site == "t" and exc.value.key == "k1"
+    assert isinstance(exc.value.last, ReproError)
+    assert isinstance(exc.value, ReproError)  # catchable as a library error
+
+
+def test_non_library_errors_propagate_immediately():
+    calls = []
+
+    def buggy():
+        calls.append(1)
+        raise TypeError("programming error")
+
+    policy = ExecPolicy(retries=5, backoff_s=0.0)
+    with pytest.raises(TypeError):
+        call_with_policy(buggy, site="t", policy=policy)
+    assert len(calls) == 1  # never retried
+
+
+def test_backoff_is_exponential_and_deterministic():
+    sleeps = []
+
+    def dead():
+        raise ReproError("x")
+
+    policy = ExecPolicy(retries=3, backoff_s=0.1)
+    with pytest.raises(PermanentFailure):
+        call_with_policy(dead, site="t", policy=policy, sleep=sleeps.append)
+    assert sleeps == pytest.approx([0.1, 0.2, 0.4])
+
+
+def test_zero_retries_means_one_attempt():
+    calls = []
+
+    def dead():
+        calls.append(1)
+        raise ReproError("x")
+
+    with pytest.raises(PermanentFailure):
+        call_with_policy(
+            dead, site="t", policy=ExecPolicy(retries=0, backoff_s=0.0))
+    assert len(calls) == 1
+
+
+def test_retry_metrics_counted():
+    from repro.obs import metrics as obs_metrics
+
+    obs_metrics.reset()
+
+    def dead():
+        raise ReproError("x")
+
+    with pytest.raises(PermanentFailure):
+        call_with_policy(
+            dead, site="msite", policy=ExecPolicy(retries=2, backoff_s=0.0))
+    snap = obs_metrics.snapshot()["counters"]
+    assert snap["resilience_retries{site=msite}"] == 2
+    assert snap["resilience_permanent_failures{site=msite}"] == 1
+    obs_metrics.reset()
+
+
+# ---------------------------------------------------------------------------
+# Timeout
+# ---------------------------------------------------------------------------
+
+
+def test_timeout_converts_to_retryable_then_permanent():
+    def stuck():
+        time.sleep(5)
+
+    policy = ExecPolicy(retries=1, timeout_s=0.05, backoff_s=0.0)
+    t0 = time.perf_counter()
+    with pytest.raises(PermanentFailure) as exc:
+        call_with_policy(stuck, site="t", policy=policy)
+    assert time.perf_counter() - t0 < 2.0  # abandoned, not joined to death
+    assert isinstance(exc.value.last, CallTimeout)
+
+
+def test_fast_call_passes_under_timeout():
+    policy = ExecPolicy(retries=0, timeout_s=5.0, backoff_s=0.0)
+    assert call_with_policy(lambda: 7, site="t", policy=policy) == 7
+
+
+def test_timeout_worker_errors_surface():
+    def dead():
+        raise ReproError("inside the worker thread")
+
+    policy = ExecPolicy(retries=0, timeout_s=5.0, backoff_s=0.0)
+    with pytest.raises(PermanentFailure):
+        call_with_policy(dead, site="t", policy=policy)
+
+
+# ---------------------------------------------------------------------------
+# Quarantine
+# ---------------------------------------------------------------------------
+
+
+def test_quarantine_set_semantics():
+    q = Quarantine("test.site")
+    assert not q.contains("a") and len(q) == 0
+    q.add("a", reason="it died")
+    q.add("a", reason="it died again")  # idempotent membership
+    q.add("b")
+    assert q.contains("a") and q.contains("b")
+    assert len(q) == 2
+    assert q.entries()["a"] == "it died again"
+    q.clear()
+    assert len(q) == 0 and not q.contains("a")
+
+
+def test_quarantine_counts_fresh_entries_only():
+    from repro.obs import metrics as obs_metrics
+
+    obs_metrics.reset()
+    q = Quarantine("qsite")
+    q.add("x")
+    q.add("x")
+    q.add("y")
+    snap = obs_metrics.snapshot()["counters"]
+    assert snap["resilience_quarantined{site=qsite}"] == 2
+    obs_metrics.reset()
