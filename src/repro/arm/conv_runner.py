@@ -31,6 +31,7 @@ from .cost_model import (
     kernel_geometry,
     scheme_for_bits,
     tile_cycles,
+    tile_cycles_batch,
 )
 
 
@@ -153,6 +154,28 @@ def gemm_kernel_cycles(
     m_r, n_r = kernel_geometry(scheme)
     tiles = ceil_div(gemm.m, m_r) * ceil_div(gemm.n, n_r)
     return tiles * tile_cycles(scheme, bits, gemm.k, interleave=interleave)
+
+
+def gemm_kernel_cycles_batch(
+    gemms: "list[GemmShape]",
+    scheme: str,
+    bits: int,
+    *,
+    interleave: bool = True,
+) -> np.ndarray:
+    """:func:`gemm_kernel_cycles` over a batch of GEMMs in one shot.
+
+    Element ``i`` is bit-identical to the scalar call on ``gemms[i]``;
+    the reduction lengths go through
+    :func:`~repro.arm.cost_model.tile_cycles_batch`, so a network's worth
+    of layers schedules each distinct micro-kernel stream once.
+    """
+    m_r, n_r = kernel_geometry(scheme)
+    ms = np.array([g.m for g in gemms], dtype=np.int64)
+    ns = np.array([g.n for g in gemms], dtype=np.int64)
+    ks = np.array([g.k for g in gemms], dtype=np.int64)
+    tiles = -((-ms) // m_r) * -((-ns) // n_r)
+    return tiles * tile_cycles_batch(scheme, bits, ks, interleave=interleave)
 
 
 def time_arm_conv(

@@ -20,6 +20,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
 
 from ..errors import UnsupportedBitsError
 from ..obs import log as obs_log
@@ -215,6 +218,44 @@ def tile_cycles(
         return float(_schedule_cycles(scheme, bits, k, interleave, round_steps))
     a, b = _linear_fit(scheme, bits, interleave, round_steps)
     return a + b * k
+
+
+def tile_cycles_batch(
+    scheme: str,
+    bits: int,
+    ks: "np.ndarray | Sequence[int]",
+    *,
+    interleave: bool = True,
+    round_steps: int | None = None,
+) -> np.ndarray:
+    """:func:`tile_cycles` over a whole batch of reduction lengths.
+
+    Element ``i`` is bit-identical to ``tile_cycles(scheme, bits, ks[i])``:
+    the linear-fit/extrapolation region is one vectorized ``a + b*k``
+    expression (same float64 operations per element), and the exact region
+    schedules each *distinct* small ``k`` once — so pricing a network's
+    layers in one call pays for each unique schedule a single time instead
+    of once per layer.
+    """
+    ks = np.asarray(ks, dtype=np.int64)
+    if ks.size and int(ks.min()) <= 0:
+        raise UnsupportedBitsError(
+            bits, f"k must be positive, got {int(ks.min())}"
+        )
+    out = np.empty(ks.shape, dtype=np.float64)
+    exact = ks <= _EXACT_K_LIMIT
+    if exact.any():
+        cycles = {
+            int(k): float(_schedule_cycles(
+                scheme, bits, int(k), interleave, round_steps))
+            for k in np.unique(ks[exact])
+        }
+        out[exact] = [cycles[int(k)] for k in ks[exact]]
+    fit = ~exact
+    if fit.any():
+        a, b = _linear_fit(scheme, bits, interleave, round_steps)
+        out[fit] = a + b * ks[fit]
+    return out
 
 
 def scheme_for_bits(bits: int) -> str:

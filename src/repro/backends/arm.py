@@ -12,9 +12,12 @@ this package existed.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from ..errors import ReproError
 from ..types import ConvSpec
-from .base import Backend, BaselineFn, ConvPrice
+from ..util import vector_enabled
+from .base import Backend, BaselineFn, ConvPrice, PrewarmItem
 
 
 #: peak MACs per cycle per scheme on the A53 NEON pipe, from the pipeline
@@ -86,6 +89,51 @@ class ArmBackend(Backend):
                 f"available: gemm, winograd"
             )
         return self._price(perf)
+
+    def prewarm(
+        self, work: Sequence[PrewarmItem], jobs: int | None = None
+    ) -> None:
+        """Batch-schedule the distinct micro-kernel streams first, then
+        fall through to the generic per-item warm-up.
+
+        One :func:`~repro.arm.conv_runner.gemm_kernel_cycles_batch` call
+        per (scheme, bits) group prices a whole network's reduction
+        lengths through the vectorized cost model, so each distinct
+        static schedule is computed exactly once before any worker (or
+        the serial pricing pass) asks for it.  ``REPRO_NO_VECTOR``
+        disables the batching; warming stays best-effort either way.
+        """
+        work = list(work)
+        if vector_enabled() and len(work) >= 2:
+            from ..arm.conv_runner import gemm_kernel_cycles_batch
+            from ..arm.cost_model import scheme_for_bits
+            from ..errors import UnsupportedBitsError
+            from ..obs import log as obs_log
+            from ..obs import metrics as obs_metrics
+            from ..types import GemmShape
+
+            groups: dict[tuple[str, int], list[GemmShape]] = {}
+            for spec, bits, _epilogue in work:
+                try:
+                    scheme = scheme_for_bits(bits)
+                except UnsupportedBitsError:
+                    continue  # the per-item pass surfaces this properly
+                groups.setdefault((scheme, bits), []).append(GemmShape(
+                    m=spec.out_channels // spec.groups,
+                    k=spec.gemm_k, n=spec.gemm_n,
+                ))
+            for (scheme, bits), gemms in groups.items():
+                try:
+                    gemm_kernel_cycles_batch(gemms, scheme, bits)
+                except Exception as exc:  # noqa: BLE001 - warming only
+                    obs_metrics.counter(
+                        "prewarm_errors", backend=self.name).inc()
+                    obs_log.warning(
+                        "prewarm_failed", logger="repro.backends",
+                        backend=self.name, scheme=scheme, bits=bits,
+                        error=type(exc).__name__,
+                    )
+        super().prewarm(work, jobs)
 
     def price_elementwise(self, kind: str, elems: int) -> float:
         per_elem = {

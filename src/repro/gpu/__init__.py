@@ -26,6 +26,13 @@ from .precompute import PrecomputedOffsets, build_offsets
 from .implicit_gemm import conv2d_implicit_gemm, ConvGpuOutput
 from .memory import coalesced_transactions, lds_instructions, SmemAccessReport
 from .pipelinemodel import GpuKernelPerf, kernel_time, conv_time
+from .vecmodel import (
+    BatchKernelPerf,
+    TilingArrays,
+    kernel_lower_bound_batch,
+    kernel_time_batch,
+    validate_mask,
+)
 from .fusion import FusionMode, pipeline_time, fusion_speedups
 from .autotune import (
     autotune,
@@ -33,6 +40,7 @@ from .autotune import (
     AutotuneResult,
     autotune_options,
     clear_cache,
+    pricing_mode,
 )
 from .baselines import cudnn_dp4a_time, tensorrt_time
 from .kernelsim import (
@@ -66,6 +74,11 @@ __all__ = [
     "GpuKernelPerf",
     "kernel_time",
     "conv_time",
+    "BatchKernelPerf",
+    "TilingArrays",
+    "kernel_lower_bound_batch",
+    "kernel_time_batch",
+    "validate_mask",
     "FusionMode",
     "pipeline_time",
     "fusion_speedups",
@@ -74,6 +87,7 @@ __all__ = [
     "AutotuneResult",
     "autotune_options",
     "clear_cache",
+    "pricing_mode",
     "cudnn_dp4a_time",
     "tensorrt_time",
     "BlockInstr",

@@ -16,9 +16,16 @@ Three layers make the search fast without changing its answer:
   the sweep stops.  The bound never exceeds the achieved time, so the
   winner — including the tie-break on search-space order — is identical
   to the exhaustive sweep's;
-* **parallel evaluation** — fixed-size candidate chunks fan out through
-  :class:`repro.perf.ParallelRunner` and merge by input index, so any
-  worker count produces bit-identical results (``REPRO_JOBS`` overrides);
+* **vectorized candidate pricing** — by default the whole population is
+  priced through :mod:`repro.gpu.vecmodel`'s structure-of-arrays twin of
+  the cost model (bit-identical per element): one batched call for every
+  lower bound, then numpy-sized pricing batches with the pruning cutoff
+  applied as an array mask.  ``REPRO_NO_VECTOR=1`` (or any fault plan
+  targeting ``autotune.profile``) falls back to the scalar engine below;
+* **parallel evaluation** — in the scalar engine, fixed-size candidate
+  chunks fan out through :class:`repro.perf.ParallelRunner` and merge by
+  input index, so any worker count produces bit-identical results
+  (``REPRO_JOBS`` overrides);
 * **a persistent content-addressed cache** — results are memoized on disk
   (:class:`repro.perf.PersistentCache`, ``REPRO_CACHE_DIR`` overrides the
   location) keyed by a :func:`repro.perf.stable_hash` of shape, bits,
@@ -54,6 +61,8 @@ import contextlib
 import threading
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import AutotuneError
 from ..obs import log as obs_log
 from ..obs import metrics as obs_metrics
@@ -68,14 +77,24 @@ from ..resilience.policy import (
     call_with_policy,
 )
 from ..types import ConvSpec, GemmShape
+from ..util import vector_enabled
 from .device import GpuDevice, TU102
 from .pipelinemodel import GpuKernelPerf, conv_gemm_shape, kernel_lower_bound, kernel_time
 from .tiling import TilingParams, search_space, search_space_size
+from .vecmodel import TilingArrays, kernel_lower_bound_batch, kernel_time_batch
 
-#: candidates evaluated per parallel round.  Fixed (never derived from the
-#: worker count) so candidate/pruned tallies are identical for any jobs
-#: setting; pruning is re-checked between rounds.
+#: candidates evaluated per parallel round of the *scalar* engine.  Fixed
+#: (never derived from the worker count) so candidate/pruned tallies are
+#: identical for any jobs setting; pruning is re-checked between rounds.
 _CHUNK = 16
+
+#: the vector engine's first round: small enough that the incumbent it
+#: establishes (from the best-bound candidates) prunes most of the space,
+#: large enough to amortize one numpy dispatch
+_VEC_CHUNK_INIT = 64
+
+#: candidates priced per numpy batch after the incumbent exists
+_VEC_CHUNK = 2048
 
 
 @dataclass(frozen=True)
@@ -171,7 +190,7 @@ def _tiling_from_json(v: list) -> TilingParams:
 # ---------------------------------------------------------------------------
 
 _MEM_CACHE: dict[str, AutotuneResult] = {}
-_SPACE_CACHE: dict[tuple[int, GpuDevice], list[TilingParams]] = {}
+_SPACE_CACHE: dict[tuple[int, GpuDevice], tuple[list[TilingParams], TilingArrays]] = {}
 _STORE = PersistentCache("gpu-autotune")
 _QUARANTINE = Quarantine("autotune.profile")
 _LOCK = threading.Lock()
@@ -182,14 +201,32 @@ _FINGERPRINT: str | None = None
 def _code_version() -> str:
     global _FINGERPRINT
     if _FINGERPRINT is None:
-        from . import device, mma, pipelinemodel, tiling
+        from . import device, mma, pipelinemodel, tiling, vecmodel
 
         import sys
 
         _FINGERPRINT = code_fingerprint(
-            [tiling, pipelinemodel, device, mma, sys.modules[__name__]]
+            [tiling, pipelinemodel, vecmodel, device, mma, sys.modules[__name__]]
         )
     return _FINGERPRINT
+
+
+def pricing_mode() -> str:
+    """``"vector"`` when sweeps may batch-price through numpy, else
+    ``"scalar"``.
+
+    Scalar is forced by ``REPRO_NO_VECTOR`` (the fallback env switch) and
+    whenever the active fault plan targets the ``autotune.profile`` site:
+    injected faults are per-candidate-key decisions inside the retry
+    boundary, which only the scalar guarded path can honor, so a chaos
+    run degrades to per-candidate pricing instead of silently skipping
+    its own fault rules.
+    """
+    if not vector_enabled():
+        return "scalar"
+    if any(r.matches("autotune.profile") for r in res_faults.active_plan().rules):
+        return "scalar"
+    return "vector"
 
 
 def clear_cache(*, persistent: bool = False) -> None:
@@ -256,16 +293,22 @@ def autotune_options(
         _OPTIONS = prev
 
 
-def _legal_candidates(bits: int, device: GpuDevice) -> list[TilingParams]:
-    """The legal search space, memoized per (bits, device) — legality does
-    not depend on the GEMM shape, so validating it once per process is
-    free speedup for every per-layer sweep."""
+def _legal_candidates(
+    bits: int, device: GpuDevice
+) -> tuple[list[TilingParams], TilingArrays]:
+    """The legal search space plus its SoA decomposition, memoized per
+    (bits, device) — legality does not depend on the GEMM shape, so
+    validating (and columnizing) it once per process is free speedup for
+    every per-layer sweep."""
     key = (bits, device)
-    space = _SPACE_CACHE.get(key)
-    if space is None:
+    with _LOCK:
+        entry = _SPACE_CACHE.get(key)
+    if entry is None:
         space = list(search_space(bits, device=device))
-        _SPACE_CACHE[key] = space
-    return space
+        entry = (space, TilingArrays.from_params(space))
+        with _LOCK:
+            entry = _SPACE_CACHE.setdefault(key, entry)
+    return entry
 
 
 def _no_legal_tiling_error(
@@ -325,7 +368,7 @@ def _guarded_profile(
         return None
 
 
-def _search_pruned(
+def _search_scalar(
     gemm: GemmShape,
     bits: int,
     space: list[TilingParams],
@@ -387,6 +430,127 @@ def _search_pruned(
                 key = (perf.total_cycles, i)
                 if best_key is None or key < best_key:
                     best_key, best_perf = key, perf
+        if best_perf is None:
+            # never silently empty: every candidate failed or was skipped
+            raise AutotuneError(
+                f"autotune sweep for {gemm} at {bits}-bit on {device.name} "
+                f"produced no survivor: {skipped} of {len(space)} candidates "
+                f"failed permanently (quarantined)"
+            )
+        result = AutotuneResult(
+            gemm=gemm,
+            bits=bits,
+            best=best_perf.tiling,
+            best_perf=best_perf,
+            candidates=len(space),
+            evaluated=evaluated,
+            pruned=len(space) - evaluated - skipped,
+            skipped=skipped,
+        )
+    _count_sweep(result, engine="pruned")
+    return result
+
+
+def _search_vector(
+    gemm: GemmShape,
+    bits: int,
+    space: list[TilingParams],
+    arrays: TilingArrays,
+    device: GpuDevice,
+    *,
+    prune: bool,
+    kernel_kwargs: dict,
+) -> AutotuneResult:
+    """The scalar engine's sweep, re-expressed over whole populations.
+
+    One :func:`~repro.gpu.vecmodel.kernel_lower_bound_batch` call replaces
+    the per-candidate bound loop; a stable argsort reproduces the scalar
+    ``sorted(..., key=(bound, index))`` order exactly; candidates are then
+    priced in numpy batches with the branch-and-bound cutoff applied as an
+    array mask *inside* each batch.  Masking mid-batch is safe for the
+    same reason the between-chunk break is: a masked candidate's bound
+    exceeded some incumbent's *achieved* time, so its own time is strictly
+    greater and it can affect neither the winner nor the index tie-break
+    (every candidate achieving the minimum time is priced).  Because
+    :func:`~repro.gpu.vecmodel.kernel_time_batch` is bit-identical to the
+    scalar model, the winner and its full cycle breakdown equal the
+    scalar engine's — only the ``evaluated``/``pruned`` split may differ
+    (the mask prunes harder than the chunk-boundary check).
+
+    Quarantined candidates and lanes the legality mask rejects (a legal
+    tiling can still fail occupancy on an exotic device) fall back to
+    :func:`_guarded_profile`, keeping skip accounting, quarantine entries
+    and failure diagnostics identical to the scalar engine's.
+    """
+    with obs_trace.span(
+        "autotune.search",
+        gemm=f"{gemm.m}x{gemm.k}x{gemm.n}", bits=bits, candidates=len(space),
+    ):
+        bounds = kernel_lower_bound_batch(
+            gemm, bits, arrays, device=device, **kernel_kwargs)
+        order = np.argsort(bounds, kind="stable")
+        policy = ExecPolicy.resolve()
+        observe_gaps = obs_trace.active()
+        best_key: tuple[float, int] | None = None
+        best_perf: GpuKernelPerf | None = None
+        evaluated = 0
+        skipped = 0
+
+        def scalar_fallback(i: int) -> None:
+            nonlocal best_key, best_perf, evaluated, skipped
+            perf = _guarded_profile(
+                gemm, bits, space[i], device, policy, kernel_kwargs)
+            if perf is None:
+                skipped += 1
+                return
+            evaluated += 1
+            key = (perf.total_cycles, i)
+            if best_key is None or key < best_key:
+                best_key, best_perf = key, perf
+
+        if len(_QUARANTINE):
+            quarantined = np.fromiter(
+                (_QUARANTINE.contains(_candidate_key(gemm, bits, t))
+                 for t in space),
+                dtype=bool, count=len(space),
+            )
+            if quarantined.any():
+                for i in np.flatnonzero(quarantined):
+                    scalar_fallback(int(i))
+                order = order[~quarantined[order]]
+
+        pos = 0
+        batch_size = _VEC_CHUNK_INIT
+        while pos < len(order):
+            if prune and best_key is not None and bounds[order[pos]] > best_key[0]:
+                break  # sorted bounds: every remaining candidate is slower
+            live = order[pos:pos + batch_size]
+            pos += len(live)
+            batch_size = _VEC_CHUNK
+            if prune and best_key is not None:
+                live = live[bounds[live] <= best_key[0]]
+            if live.size == 0:
+                continue
+            batch = kernel_time_batch(
+                gemm, bits, arrays.take(live), device=device, **kernel_kwargs)
+            lanes = np.flatnonzero(batch.legal)
+            if lanes.size < live.size:
+                for i in live[~batch.legal]:
+                    scalar_fallback(int(i))
+            if lanes.size == 0:
+                continue
+            keep = live[lanes]
+            totals = batch.total_cycles[lanes]
+            evaluated += int(lanes.size)
+            if observe_gaps:
+                hist = obs_metrics.histogram(
+                    "autotune_bound_gap_cycles", bits=bits)
+                for gap in (totals - bounds[keep]):
+                    hist.observe(float(gap))
+            p = int(np.lexsort((keep, totals))[0])
+            key = (float(totals[p]), int(keep[p]))
+            if best_key is None or key < best_key:
+                best_key, best_perf = key, batch.perf_at(int(lanes[p]))
         if best_perf is None:
             # never silently empty: every candidate failed or was skipped
             raise AutotuneError(
@@ -521,13 +685,19 @@ def autotune(
                     _MEM_CACHE.setdefault(digest, result)
                 return _MEM_CACHE[digest]
 
-    space = _legal_candidates(bits, device)
+    space, arrays = _legal_candidates(bits, device)
     if not space:
         raise _no_legal_tiling_error(gemm, bits, device)
-    result = _search_pruned(
-        gemm, bits, space, device,
-        prune=prune, jobs=jobs, kernel_kwargs=kernel_kwargs,
-    )
+    if pricing_mode() == "vector":
+        result = _search_vector(
+            gemm, bits, space, arrays, device,
+            prune=prune, kernel_kwargs=kernel_kwargs,
+        )
+    else:
+        result = _search_scalar(
+            gemm, bits, space, device,
+            prune=prune, jobs=jobs, kernel_kwargs=kernel_kwargs,
+        )
     with _LOCK:
         result = _MEM_CACHE.setdefault(digest, result)
     if persistent:

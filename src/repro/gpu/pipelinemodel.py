@@ -280,8 +280,11 @@ def kernel_time(
     launch = _launch_cycles(device, split_k)
     if obs_trace.active():
         # one profile run of the pipeline model; per-call detail is gated
-        # because this is the autotuner's innermost hot function
-        obs_metrics.counter("gpu_profile_runs", bits=bits).inc()
+        # because this is the autotuner's innermost hot function (the
+        # vector path in repro.gpu.vecmodel records batched, ungated)
+        obs_metrics.counter(
+            "gpu_profile_runs", bits=bits, pricing_mode="scalar"
+        ).inc()
     return GpuKernelPerf(
         gemm=gemm,
         tiling=tiling,

@@ -81,7 +81,7 @@ def machine_fingerprint() -> str:
     from ..arm import cost_model, pipeline
     from ..backends import arm as be_arm
     from ..backends import gpu as be_gpu
-    from ..gpu import autotune, pipelinemodel, tiling
+    from ..gpu import autotune, pipelinemodel, tiling, vecmodel
     from ..perf.cache import code_fingerprint, stable_hash
 
     return stable_hash({
@@ -90,7 +90,7 @@ def machine_fingerprint() -> str:
         "python": platform.python_version(),
         "cpus": os.cpu_count(),
         "code": code_fingerprint([
-            cost_model, pipeline, pipelinemodel, autotune, tiling,
+            cost_model, pipeline, pipelinemodel, vecmodel, autotune, tiling,
             be_arm, be_gpu,
         ]),
     })[:16]
@@ -178,10 +178,16 @@ def build_entry(
     figures: dict[str, dict[str, list[float]]],
     wall_seconds: dict[str, float],
     metrics_snapshot: dict,
+    throughput: dict[str, float] | None = None,
 ) -> dict:
-    """Assemble one schema-v3 ledger entry from a finished bench run."""
+    """Assemble one schema-v3 ledger entry from a finished bench run.
+
+    ``throughput`` carries per-phase candidate-pricing rates
+    (candidates/sec) — optional and additive, so entries written before
+    the key existed still compare cleanly.
+    """
     sha = git_sha()
-    return {
+    entry = {
         "schema": LEDGER_SCHEMA,
         "run_id": f"{timestamp}-{(sha or 'nogit')[:12]}",
         "timestamp": timestamp,
@@ -197,3 +203,8 @@ def build_entry(
         "wall_seconds": {k: round(v, 6) for k, v in wall_seconds.items()},
         "metrics": metrics_snapshot,
     }
+    if throughput:
+        entry["throughput"] = {
+            k: round(v, 1) for k, v in throughput.items() if v
+        }
+    return entry

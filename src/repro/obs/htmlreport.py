@@ -327,6 +327,17 @@ def render_report(
             if spark:
                 sections.append(
                     f"<p class='sub'>{_esc(k)} trend {spark}</p>")
+        # candidate-pricing throughput trends (entries predating the
+        # ``throughput`` key simply contribute no points)
+        tput_keys = sorted({k for e in entries
+                            for k in e.get("throughput", {})})
+        for k in tput_keys:
+            series = [e["throughput"][k] for e in reversed(entries)
+                      if k in e.get("throughput", {})]
+            spark = _sparkline(series)
+            if spark:
+                sections.append(
+                    f"<p class='sub'>{_esc(k)} candidates/s trend {spark}</p>")
     else:
         sections.append("<p class='sub'>ledger is empty — run "
                         "<code>python -m repro bench --save</code></p>")

@@ -64,12 +64,24 @@ class PhaseReport:
     candidates: int = 0
     evaluated: int = 0
     pruned: int = 0
+    #: which candidate-pricing engine the phase ran: ``vector`` (batched
+    #: numpy pricing) or ``scalar`` (per-candidate calls)
+    pricing_mode: str = "scalar"
     #: per "<layer>/<bits>b": [tiling description, best_cycles]
     best: dict[str, list] = field(default_factory=dict)
     #: per figure name: {series name: [values...]}
     series: dict[str, dict[str, list[float]]] = field(default_factory=dict)
 
+    @property
+    def candidates_per_sec(self) -> float | None:
+        """Candidate-pricing throughput of the phase (trended by the
+        ledger/HTML report); ``None`` when nothing was timed."""
+        if not self.candidates or not self.seconds:
+            return None
+        return self.candidates / self.seconds
+
     def as_dict(self) -> dict:
+        cps = self.candidates_per_sec
         return {
             "seconds": round(self.seconds, 6),
             "cache": self.cache,
@@ -79,6 +91,8 @@ class PhaseReport:
             "pruned_fraction": (
                 round(self.pruned / self.candidates, 4) if self.candidates else 0.0
             ),
+            "pricing_mode": self.pricing_mode,
+            "candidates_per_sec": round(cps, 1) if cps is not None else None,
         }
 
 
@@ -144,6 +158,7 @@ def _run_gpu_phase(
         autotune_options,
         cache_store,
         clear_cache,
+        pricing_mode,
     )
 
     clear_cache()  # in-process memo only; the disk store is the subject
@@ -151,7 +166,12 @@ def _run_gpu_phase(
     store.reset_stats()
     items = _gpu_sweep_items(model, batch, smoke)
 
-    report = PhaseReport(name=name, seconds=0.0)
+    # the serial baseline always prices per candidate; the engine phases
+    # report whatever the env/fault-plan dispatch resolves to
+    report = PhaseReport(
+        name=name, seconds=0.0,
+        pricing_mode=pricing_mode() if engine else "scalar",
+    )
     t0 = time.perf_counter()
     with autotune_options(engine=engine, persistent=persistent, jobs=jobs):
         if smoke:
@@ -339,6 +359,9 @@ def run_bench(
         echo(f"engine warm     : {warm.seconds:8.3f} s  "
              f"speedup {gpu_section['speedup_warm']}x  "
              f"(cache hit rate {warm.cache.get('hit_rate', 0.0):.0%})")
+        cold_cps = gpu_section["cold"]["candidates_per_sec"]
+        echo(f"pricing mode    : {cold.pricing_mode}  "
+             f"(cold {cold_cps if cold_cps is not None else '—'} candidates/s)")
         echo(f"identical best tilings: {identical_best}   "
              f"identical figure series: {identical_series}")
     if arm_section:
@@ -370,6 +393,7 @@ def run_bench(
         figures: dict[str, dict[str, list[float]]] = {}
         model_cycles: dict[str, list] = {}
         wall: dict[str, float] = {}
+        throughput: dict[str, float] = {}
         if serial is not None:
             model_cycles = dict(warm.best)
             wall.update({"gpu_serial": serial.seconds,
@@ -377,6 +401,9 @@ def run_bench(
                          "gpu_warm": warm.seconds})
             for phase in (serial, cold, warm):
                 figures.update(phase.series)
+                cps = phase.candidates_per_sec
+                if cps is not None:
+                    throughput[f"gpu_{phase.name}"] = cps
         if arm_section is not None:
             wall.update({"arm_cold": arm_cold.seconds,
                          "arm_warm": arm_warm.seconds})
@@ -392,6 +419,7 @@ def run_bench(
             figures=figures,
             wall_seconds=wall,
             metrics_snapshot=payload["metrics"],
+            throughput=throughput or None,
         )
         from ..errors import ReproError
 

@@ -5,11 +5,26 @@ Nothing here is domain specific; keep it that way.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Iterator, Sequence, TypeVar
 
 import numpy as np
 
 T = TypeVar("T")
+
+#: set (to any non-empty value) to disable vectorized whole-population
+#: pricing and fall back to the scalar per-candidate paths everywhere
+NO_VECTOR_ENV = "REPRO_NO_VECTOR"
+
+
+def vector_enabled() -> bool:
+    """Whether batched (structure-of-arrays) pricing paths may be used.
+
+    Same env convention as ``REPRO_NO_CACHE``: any non-empty value
+    disables.  The scalar paths are the equivalence oracle, so flipping
+    this never changes results — only speed.
+    """
+    return not os.environ.get(NO_VECTOR_ENV, "").strip()
 
 
 def ceil_div(a: int, b: int) -> int:
