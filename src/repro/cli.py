@@ -37,6 +37,17 @@ Commands
     the executor must degrade to the ``ref`` backend loudly, and
     injected crashes at every persistence site must leave zero torn
     files.  Exits non-zero when any invariant breaks.
+``flight [--run TARGET] [--dump OUT.json] [--last SECONDS]``
+    Inspect the always-on flight recorder (:mod:`repro.obs.flight`) and
+    export the last N seconds as a Chrome trace — after the fact, no
+    tracer required up front.
+``metrics-export [--run TARGET] [--out FILE] [--serve PORT]``
+    Render the metrics registry in OpenMetrics text exposition (with
+    span-id exemplars on histograms), self-validated by the strict
+    in-repo parser; ``--serve`` exposes it on ``/metrics``.
+``top [--run TARGET] [--interval S] [--iterations N]``
+    Live terminal view over the metrics registry: gauges, counter
+    rates, histogram tails, refreshed in place.
 """
 
 from __future__ import annotations
@@ -162,6 +173,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             metrics_path=args.metrics,
             save=args.save,
             history_dir=args.history_dir,
+            sample_interval_ms=args.profile_sample,
+            flamegraph_path=args.flamegraph,
         )
     except AssertionError as exc:
         print(f"bench FAILED: {exc}", file=sys.stderr)
@@ -179,7 +192,110 @@ def cmd_profile(args: argparse.Namespace) -> int:
         backend=args.backend,
         trace_path=args.trace,
         metrics_path=args.metrics,
+        sample_interval_ms=args.profile_sample,
+        flamegraph_path=args.flamegraph,
     )
+
+
+def _run_workload(target: str, model: str, batch: int) -> int:
+    """Run one profile-style target to populate telemetry; 0 on success."""
+    from .obs.report import MODELS, resolve_target
+
+    try:
+        runner = resolve_target(target, model, batch)
+    except KeyError:
+        print(f"unknown target {target!r}; use fig7..fig17, tab1, or one of "
+              f"{', '.join(MODELS)}", file=sys.stderr)
+        return 2
+    runner()
+    return 0
+
+
+def cmd_flight(args: argparse.Namespace) -> int:
+    from .obs import flight as obs_flight
+
+    if args.run:
+        rc = _run_workload(args.run, args.model, args.batch)
+        if rc:
+            return rc
+    rec = obs_flight.recorder()
+    events = rec.events(last_s=args.last)
+    spans = obs_flight.span_events(events)
+    orphans = obs_flight.unresolved_parents(events)
+    window = f" in the last {args.last:g} s" if args.last is not None else ""
+    print(f"flight recorder: {'enabled' if obs_flight.enabled() else 'DISABLED'}"
+          f", capacity {rec.capacity} events"
+          f" ({rec.total_recorded} recorded, {rec.dropped} dropped)")
+    print(f"{len(events)} events{window}: {len(spans)} spans, "
+          f"{len(events) - len(spans)} instants, "
+          f"{len(obs_flight.trace_ids(events))} traces, "
+          f"{len(orphans)} unresolved parents")
+    if args.dump:
+        path = rec.write(args.dump, last_s=args.last)
+        print(f"wrote flight trace {path}  "
+              f"(open in chrome://tracing or Perfetto)")
+    elif not args.run:
+        print("hint: add --run TARGET to record a workload, "
+              "--dump OUT.json to export")
+    return 0
+
+
+def cmd_metrics_export(args: argparse.Namespace) -> int:
+    from .obs import export as obs_export
+
+    if args.run:
+        rc = _run_workload(args.run, args.model, args.batch)
+        if rc:
+            return rc
+    if args.serve is not None:
+        import threading
+
+        ready = threading.Event()
+        print(f"serving OpenMetrics on http://127.0.0.1:{args.serve}/metrics "
+              f"(Ctrl-C to stop)")
+        obs_export.serve(args.serve, ready=ready)
+        return 0
+    text = obs_export.render()
+    # self-check: the renderer's output must round-trip the strict parser
+    families = obs_export.validate(text)
+    if args.out:
+        import pathlib
+
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        print(f"wrote {path}: {len(families)} metric families, "
+              f"{obs_export.exemplar_count(families)} exemplars")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from .obs import export as obs_export
+
+    worker = None
+    if args.run:
+        import threading
+
+        from .obs.report import MODELS, resolve_target
+
+        try:
+            runner = resolve_target(args.run, args.model, args.batch)
+        except KeyError:
+            print(f"unknown target {args.run!r}; use fig7..fig17, tab1, or "
+                  f"one of {', '.join(MODELS)}", file=sys.stderr)
+            return 2
+        worker = threading.Thread(
+            target=runner, name="repro-top-workload", daemon=True)
+        worker.start()
+    frames = obs_export.run_top(
+        interval_s=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+        stop_when=(lambda: not worker.is_alive()) if worker else None,
+    )
+    return 0 if frames else 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -196,10 +312,20 @@ def cmd_report(args: argparse.Namespace) -> int:
     if args.html:
         from .obs.htmlreport import write_report
 
+        sample = None
+        if args.sample_collapsed:
+            import pathlib
+
+            from .obs import sampler as obs_sampler
+
+            sample = obs_sampler.parse_collapsed(
+                pathlib.Path(args.sample_collapsed).read_text(
+                    encoding="utf-8"))
         try:
             path = write_report(
                 args.html, model=args.model, backends=backends,
                 batch=args.batch, history_dir=args.history_dir,
+                sample=sample,
             )
         except ReproError as exc:
             print(f"report FAILED: {exc}", file=sys.stderr)
@@ -324,6 +450,13 @@ def build_parser() -> argparse.ArgumentParser:
     bp.add_argument("--history-dir", default=None, metavar="DIR",
                     help="ledger directory for --save "
                          "(default: $REPRO_BENCH_DIR or benchmarks/history)")
+    bp.add_argument("--profile-sample", nargs="?", const=5.0, default=None,
+                    type=float, metavar="MS",
+                    help="run the wall-clock stack sampler over the bench "
+                         "(optional tick interval in ms, default 5)")
+    bp.add_argument("--flamegraph", default=None, metavar="OUT.svg",
+                    help="write the sampled stacks as a flamegraph SVG "
+                         "(requires --profile-sample)")
     bp.set_defaults(fn=cmd_bench)
 
     pp = sub.add_parser(
@@ -343,6 +476,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write a Chrome trace_event file (Perfetto-loadable)")
     pp.add_argument("--metrics", default=None, metavar="OUT.json",
                     help="write the metrics registry snapshot as JSON")
+    pp.add_argument("--profile-sample", nargs="?", const=5.0, default=None,
+                    type=float, metavar="MS",
+                    help="run the wall-clock stack sampler over the run "
+                         "(optional tick interval in ms, default 5)")
+    pp.add_argument("--flamegraph", default=None, metavar="OUT.svg",
+                    help="write the sampled stacks as a flamegraph SVG "
+                         "(requires --profile-sample)")
     pp.set_defaults(fn=cmd_profile)
 
     rr = sub.add_parser(
@@ -359,6 +499,9 @@ def build_parser() -> argparse.ArgumentParser:
     rr.add_argument("--history-dir", default=None, metavar="DIR",
                     help="bench ledger shown in the dashboard "
                          "(default: $REPRO_BENCH_DIR or benchmarks/history)")
+    rr.add_argument("--sample-collapsed", default=None, metavar="FILE",
+                    help="collapsed-stack file (from the sampler) to render "
+                         "as a flamegraph panel in the --html dashboard")
     rr.set_defaults(fn=cmd_report)
 
     gp = sub.add_parser(
@@ -384,6 +527,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the resilience chaos scenarios; non-zero exit on any "
              "broken invariant",
     ).set_defaults(fn=cmd_chaos)
+
+    fl = sub.add_parser(
+        "flight",
+        help="inspect the always-on flight recorder; --dump exports the "
+             "last N seconds as a Chrome trace")
+    fl.add_argument("--run", default=None, metavar="TARGET",
+                    help="record a workload first: fig7..fig17, tab1, or a "
+                         "model name")
+    fl.add_argument("--model", default="resnet50",
+                    choices=["resnet50", "scr-resnet50", "densenet121"],
+                    help="model for figure targets that take one")
+    fl.add_argument("--batch", type=int, default=1)
+    fl.add_argument("--dump", default=None, metavar="OUT.json",
+                    help="write the recorded window as a Chrome trace_event "
+                         "file (Perfetto-loadable)")
+    fl.add_argument("--last", type=float, default=None, metavar="SECONDS",
+                    help="restrict to events from the last N seconds "
+                         "(default: the whole ring)")
+    fl.set_defaults(fn=cmd_flight)
+
+    me = sub.add_parser(
+        "metrics-export",
+        help="render the metrics registry as OpenMetrics text "
+             "(with histogram exemplars)")
+    me.add_argument("--run", default=None, metavar="TARGET",
+                    help="run a workload first: fig7..fig17, tab1, or a "
+                         "model name")
+    me.add_argument("--model", default="resnet50",
+                    choices=["resnet50", "scr-resnet50", "densenet121"],
+                    help="model for figure targets that take one")
+    me.add_argument("--batch", type=int, default=1)
+    me.add_argument("--out", default=None, metavar="FILE",
+                    help="write the exposition here instead of stdout")
+    me.add_argument("--serve", type=int, default=None, metavar="PORT",
+                    help="serve /metrics on 127.0.0.1:PORT until Ctrl-C")
+    me.set_defaults(fn=cmd_metrics_export)
+
+    tp = sub.add_parser(
+        "top",
+        help="live terminal view over the metrics registry")
+    tp.add_argument("--run", default=None, metavar="TARGET",
+                    help="run a workload on a background thread while "
+                         "watching: fig7..fig17, tab1, or a model name")
+    tp.add_argument("--model", default="resnet50",
+                    choices=["resnet50", "scr-resnet50", "densenet121"],
+                    help="model for figure targets that take one")
+    tp.add_argument("--batch", type=int, default=1)
+    tp.add_argument("--interval", type=float, default=1.0, metavar="S",
+                    help="refresh interval in seconds (default 1.0)")
+    tp.add_argument("--iterations", type=int, default=None, metavar="N",
+                    help="stop after N frames (default: until Ctrl-C or "
+                         "the --run workload finishes)")
+    tp.add_argument("--no-clear", action="store_true",
+                    help="append frames instead of redrawing in place")
+    tp.set_defaults(fn=cmd_top)
     return p
 
 

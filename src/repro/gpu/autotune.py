@@ -64,6 +64,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import AutotuneError
+from ..obs import flight as obs_flight
 from ..obs import log as obs_log
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
@@ -447,7 +448,8 @@ def _search_scalar(
             pruned=len(space) - evaluated - skipped,
             skipped=skipped,
         )
-    _count_sweep(result, engine="pruned")
+        # inside the span: the flight-ring marker attaches to the search
+        _count_sweep(result, engine="pruned")
     return result
 
 
@@ -568,7 +570,8 @@ def _search_vector(
             pruned=len(space) - evaluated - skipped,
             skipped=skipped,
         )
-    _count_sweep(result, engine="pruned")
+        # inside the span: the flight-ring marker attaches to the search
+        _count_sweep(result, engine="pruned")
     return result
 
 
@@ -580,6 +583,14 @@ def _count_sweep(result: AutotuneResult, *, engine: str) -> None:
     obs_metrics.counter("autotune_evaluated", engine=engine).inc(
         result.evaluated)
     obs_metrics.counter("autotune_pruned", engine=engine).inc(result.pruned)
+    # flight-ring marker: one per sweep, addressable next to its spans
+    obs_flight.instant(
+        "autotune.sweep", cat="autotune", engine=engine,
+        gemm=f"{result.gemm.m}x{result.gemm.k}x{result.gemm.n}",
+        bits=result.bits, candidates=result.candidates,
+        evaluated=result.evaluated, pruned=result.pruned,
+        skipped=result.skipped, best_cycles=result.best_cycles,
+    )
 
 
 def autotune_reference(
@@ -625,7 +636,7 @@ def autotune_reference(
         gemm=gemm, bits=bits, best=best, best_perf=best_perf,
         candidates=count, evaluated=evaluated, pruned=0, skipped=skipped,
     )
-    _count_sweep(result, engine="reference")
+    _count_sweep(result, engine="reference")  # reference span already closed
     return result
 
 

@@ -6,10 +6,24 @@ the reproduction carries its own instrumentation:
 
 * :mod:`repro.obs.trace` — a span-based tracer (``trace.span("autotune",
   bits=4)`` context managers, nestable, thread-safe) exporting Chrome
-  ``trace_event`` JSON viewable in ``chrome://tracing`` / Perfetto.  A
-  **no-op by default**: until a tracer is installed (``trace.capture()``,
-  ``python -m repro profile``), ``span()`` returns a shared null context
-  manager and hot paths pay one global read;
+  ``trace_event`` JSON viewable in ``chrome://tracing`` / Perfetto.
+  Without a tracer installed (``trace.capture()``, ``python -m repro
+  profile``) spans are not collected per-run, but they still land in the
+  flight recorder below; with *both* off, ``span()`` returns a shared
+  null context manager and hot paths pay two global reads;
+* :mod:`repro.obs.flight` — the always-on bounded ring-buffer **flight
+  recorder** (``REPRO_FLIGHT=0`` to disable): every span and structured
+  instant event from any thread or worker lands in one process-wide ring
+  carrying ``TraceContext`` ids, so ``python -m repro flight --dump``
+  can export the last N seconds as a parent-linked Chrome trace *after*
+  something interesting happened;
+* :mod:`repro.obs.sampler` — a deterministic-interval wall-clock stack
+  sampler (``bench/profile --profile-sample``) producing collapsed
+  stacks and flamegraph SVGs for the time spans don't cover;
+* :mod:`repro.obs.export` — OpenMetrics/Prometheus text exposition of
+  the metrics registry with span-id exemplars (``python -m repro
+  metrics-export [--serve PORT]``) plus the ``python -m repro top``
+  live terminal view, validated by a strict in-repo parser;
 * :mod:`repro.obs.metrics` — a process-wide registry of labeled counters,
   gauges and histograms.  Coarse, always-on events (cache hits/misses,
   autotune candidates evaluated/pruned, per-layer cycle gauges) cost one
@@ -45,13 +59,16 @@ JSON files.
 
 from __future__ import annotations
 
-from . import log, metrics, trace
+from . import export, flight, log, metrics, sampler, trace
 from .trace import Tracer, active, capture, span
 
 __all__ = [
     "trace",
     "metrics",
     "log",
+    "flight",
+    "sampler",
+    "export",
     "Tracer",
     "active",
     "capture",

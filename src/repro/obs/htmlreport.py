@@ -192,6 +192,74 @@ def _chain_svg(table: Sequence[dict], width: int = 560) -> str:
     return "".join(parts)
 
 
+def flamegraph_svg(
+    counts: dict[str, int], *, width: int = 860, row_h: int = 18,
+    max_depth: int = 40,
+) -> str:
+    """An icicle-layout flamegraph of collapsed stacks (inline SVG).
+
+    ``counts`` is :meth:`repro.obs.sampler.StackSampler.collapsed` output
+    (``"outer;...;leaf" -> samples``).  Root at the top, one row per
+    frame depth, box width proportional to sample share; every box
+    carries a native ``<title>`` tooltip with the frame, sample count and
+    percentage.  Pure string building — no scripts, matching the rest of
+    the dashboard.
+    """
+    total = sum(counts.values())
+    if total <= 0:
+        return "<p class='sub'>(no samples)</p>"
+
+    # fold the stacks into a trie; child order is alphabetical so the
+    # layout is deterministic for a given sample set
+    root: dict = {"name": "all", "value": 0, "children": {}}
+    for stack, n in sorted(counts.items()):
+        node = root
+        node["value"] += n
+        for part in stack.split(";"):
+            child = node["children"].setdefault(
+                part, {"name": part, "value": 0, "children": {}})
+            child["value"] += n
+            node = child
+
+    pps = width / total  # pixels per sample
+    boxes: list[tuple[int, float, float, str, int]] = []
+
+    def layout(node: dict, depth: int, x0: float) -> None:
+        boxes.append((depth, x0, node["value"] * pps, node["name"],
+                      node["value"]))
+        if depth >= max_depth:
+            return
+        x = x0
+        for name in sorted(node["children"]):
+            child = node["children"][name]
+            layout(child, depth + 1, x)
+            x += child["value"] * pps
+
+    layout(root, 0, 0.0)
+    depth_max = max(d for d, *_ in boxes)
+    height = (depth_max + 1) * row_h + 4
+    parts = [f"<svg viewBox='0 0 {width} {height}' role='img' "
+             f"aria-label='flamegraph of sampled stacks'>"]
+    for depth, x0, w, name, value in boxes:
+        if w < 0.4:  # invisible at any zoom the dashboard offers
+            continue
+        yy = depth * row_h
+        tip = f"{name} — {value} samples ({value / total:.1%})"
+        parts.append(
+            f"<rect x='{x0:.1f}' y='{yy}' width='{max(w, 0.6):.1f}' "
+            f"height='{row_h - 2}' rx='2' fill='{_slot(depth)}' "
+            f"stroke='light-dark(#fcfcfb,#1a1a19)' stroke-width='0.5'>"
+            f"<title>{_esc(tip)}</title></rect>")
+        if w >= 60:
+            label = name if len(name) <= int(w / 7) else (
+                name[: max(1, int(w / 7) - 1)] + "…")
+            parts.append(
+                f"<text x='{x0 + 4:.1f}' y='{yy + row_h - 6}' "
+                f"fill='#ffffff'>{_esc(label)}</text>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
 def _sparkline(values: Sequence[float], width: int = 140,
                height: int = 30) -> str:
     if len(values) < 2:
@@ -242,8 +310,15 @@ def render_report(
     backends: Sequence[str] = ("arm", "gpu"),
     batch: int = 1,
     history_dir: str | os.PathLike | None = None,
+    sample: "dict[str, int] | None" = None,
 ) -> str:
-    """Build the dashboard HTML string (prices layers on each backend)."""
+    """Build the dashboard HTML string (prices layers on each backend).
+
+    ``sample`` — collapsed-stack counts from
+    :meth:`repro.obs.sampler.StackSampler.collapsed` (or a parsed
+    collapsed file) — adds a flamegraph panel of the sampled wall-clock
+    profile.
+    """
     from .history import BenchLedger
 
     with obs_trace.span("report.html", model=model):
@@ -306,6 +381,24 @@ def render_report(
                  f"{r['improvement']:.2f}×") for r in cal_ld]),
         "</div>",
     ]
+
+    if sample:
+        total = sum(sample.values())
+        top = sorted(sample.items(), key=lambda kv: (-kv[1], kv[0]))[:12]
+        sections += [
+            "<h2>Sampled wall-clock profile</h2>",
+            "<div class='card'>",
+            f"<p class='sub'>{total} samples over {len(sample)} distinct "
+            f"stacks (deterministic-interval sampler; see DESIGN.md "
+            f"§5.12 for caveats).</p>",
+            flamegraph_svg(sample),
+            "<details><summary>hottest stacks</summary>",
+            _table(("samples", "share", "stack (leaf last)"),
+                   [(n, f"{n / total:.1%}",
+                     stack if len(stack) <= 120 else "…" + stack[-119:])
+                    for stack, n in top]),
+            "</details></div>",
+        ]
 
     sections.append("<h2>Bench history (newest first)</h2><div class='card'>")
     if entries:

@@ -21,19 +21,110 @@ Per-item detail in genuinely hot loops is gated on
 
 from __future__ import annotations
 
+import bisect
+import re
 import threading
 from typing import Any
+
+from . import flight as _flight
 
 #: bump when the snapshot layout changes
 SCHEMA_VERSION = 1
 
+#: label *names* must be bare identifiers — they come from ``**labels``
+#: keywords, so anything else indicates a programming error, not data
+_LABEL_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+#: characters with structural meaning inside a series key; each is
+#: backslash-escaped in label values so two distinct label sets can
+#: never collide into one key (e.g. ``a="x,b=y"`` vs ``a="x", b="y"``)
+_KEY_SPECIALS = ("\\", ",", "{", "}", "=")
+
+
+def escape_label_value(value: Any) -> str:
+    """Backslash-escape the structural key characters in ``value``.
+
+    Values without ``\\ , { } =`` come back unchanged, so established
+    series keys (plain bit widths, layer names, outcomes) keep their
+    exact historical spelling.
+    """
+    text = str(value)
+    for ch in _KEY_SPECIALS:
+        text = text.replace(ch, "\\" + ch)
+    return text
+
+
+def unescape_label_value(value: str) -> str:
+    """Exact inverse of :func:`escape_label_value`."""
+    out: list[str] = []
+    it = iter(value)
+    for ch in it:
+        if ch == "\\":
+            out.append(next(it, "\\"))
+        else:
+            out.append(ch)
+    return "".join(out)
+
 
 def metric_key(name: str, labels: dict[str, Any]) -> str:
-    """Canonical ``name{k=v,...}`` series key (labels sorted by name)."""
+    """Canonical ``name{k=v,...}`` series key (labels sorted by name).
+
+    Label values are escaped via :func:`escape_label_value`; label names
+    must be identifiers (they arrive as ``**labels`` keywords) and metric
+    names must not themselves contain key syntax.
+    """
+    if "{" in name or "}" in name:
+        raise ValueError(f"metric name may not contain braces: {name!r}")
     if not labels:
         return name
-    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    for k in labels:
+        if not _LABEL_NAME_RE.match(k):
+            raise ValueError(f"label name must be an identifier: {k!r}")
+    inner = ",".join(
+        f"{k}={escape_label_value(labels[k])}" for k in sorted(labels))
     return f"{name}{{{inner}}}"
+
+
+def _split_unescaped(text: str, sep: str) -> list[str]:
+    """Split on ``sep`` occurrences not preceded by a backslash escape."""
+    parts: list[str] = []
+    buf: list[str] = []
+    escaped = False
+    for ch in text:
+        if escaped:
+            buf.append(ch)
+            escaped = False
+        elif ch == "\\":
+            buf.append(ch)
+            escaped = True
+        elif ch == sep:
+            parts.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+    parts.append("".join(buf))
+    return parts
+
+
+def parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`metric_key`: ``"n{a=1,b=2}"`` → ``("n", {...})``.
+
+    The exposition and display layers use this instead of naive string
+    splitting, so escaped label values survive the round trip.
+    """
+    if not key.endswith("}"):
+        if "{" in key:
+            raise ValueError(f"malformed series key: {key!r}")
+        return key, {}
+    brace = key.index("{")
+    name, body = key[:brace], key[brace + 1:-1]
+    labels: dict[str, str] = {}
+    for pair in _split_unescaped(body, ","):
+        k, eq, v = pair.partition("=")
+        if not eq or not _LABEL_NAME_RE.match(k):
+            raise ValueError(f"malformed label pair {pair!r} in {key!r}")
+        labels[k] = unescape_label_value(v)
+    return name, labels
 
 
 class Counter:
@@ -79,6 +170,11 @@ class Gauge:
 #: is retained — a deterministic uniform subsample, never reservoir noise
 SAMPLE_CAP = 4096
 
+#: fixed log-decade bucket upper bounds for the exposition format — wide
+#: enough for microseconds-to-hours latencies *and* cycle counts in the
+#: trillions; the implicit final bucket is +Inf
+BUCKET_BOUNDS: tuple[float, ...] = tuple(10.0 ** e for e in range(-9, 13))
+
 
 class Histogram:
     """Streaming summary (count/sum/min/max) of observed values.
@@ -88,9 +184,17 @@ class Histogram:
     queries — exact until :data:`SAMPLE_CAP` observations, a uniform
     1-in-``stride`` subsample beyond.  The regression checker leans on
     this for its noise-aware wall-clock medians.
+
+    For the OpenMetrics exposition (:mod:`repro.obs.export`) every
+    observation is also counted into fixed log-decade buckets
+    (:data:`BUCKET_BOUNDS` plus +Inf), and — while the flight recorder is
+    enabled and a trace context is active — the latest observation per
+    bucket is kept as an *exemplar* ``(value, trace_id, span_id)``, so a
+    slow bucket links straight to the span that produced it.
     """
 
-    __slots__ = ("_lock", "count", "sum", "min", "max", "_samples", "_stride")
+    __slots__ = ("_lock", "count", "sum", "min", "max", "_samples", "_stride",
+                 "_bucket_counts", "_exemplars")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -100,9 +204,17 @@ class Histogram:
         self.max: float | None = None
         self._samples: list[float] = []
         self._stride = 1
+        self._bucket_counts = [0] * (len(BUCKET_BOUNDS) + 1)
+        self._exemplars: dict[int, tuple[float, str, str]] = {}
 
     def observe(self, value: float) -> None:
         value = float(value)
+        bucket = bisect.bisect_left(BUCKET_BOUNDS, value)
+        exemplar: tuple[float, str, str] | None = None
+        if _flight.enabled():
+            ctx = _flight.current_context()
+            if ctx is not None:
+                exemplar = (value, ctx.trace_id, ctx.span_id)
         with self._lock:
             self.count += 1
             self.sum += value
@@ -110,11 +222,26 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
+            self._bucket_counts[bucket] += 1
+            if exemplar is not None:
+                self._exemplars[bucket] = exemplar
             if (self.count - 1) % self._stride == 0:
                 self._samples.append(value)
                 if len(self._samples) >= SAMPLE_CAP:
                     self._samples = self._samples[::2]
                     self._stride *= 2
+
+    def bucket_counts(self) -> list[int]:
+        """Per-bucket (non-cumulative) counts; bucket ``i`` holds
+        observations in ``(BUCKET_BOUNDS[i-1], BUCKET_BOUNDS[i]]``, the
+        last entry everything above the top bound (+Inf)."""
+        with self._lock:
+            return list(self._bucket_counts)
+
+    def exemplars(self) -> dict[int, tuple[float, str, str]]:
+        """Latest ``(value, trace_id, span_id)`` per bucket index."""
+        with self._lock:
+            return dict(self._exemplars)
 
     @property
     def mean(self) -> float:
@@ -159,6 +286,9 @@ class Histogram:
                     out.max = h.max if out.max is None else max(out.max, h.max)
                 merged.extend(h._samples)
                 out._stride = max(out._stride, h._stride)
+                for i, n in enumerate(h._bucket_counts):
+                    out._bucket_counts[i] += n
+                out._exemplars.update(h._exemplars)
         while len(merged) >= SAMPLE_CAP:
             merged = merged[::2]
             out._stride *= 2
@@ -200,6 +330,17 @@ class MetricsRegistry:
 
     def histogram(self, name: str, **labels: Any) -> Histogram:
         return self._get(self._histograms, Histogram, name, labels)
+
+    def series(self) -> tuple[dict[str, Counter], dict[str, Gauge], dict[str, Histogram]]:
+        """Point-in-time shallow copies of the live series tables.
+
+        The exposition layer (:mod:`repro.obs.export`) needs the metric
+        *objects* — bucket counts and exemplars are not part of the JSON
+        snapshot — so this hands out the tables without exposing the
+        registry's internals for mutation.
+        """
+        with self._lock:
+            return dict(self._counters), dict(self._gauges), dict(self._histograms)
 
     def snapshot(self) -> dict:
         """Point-in-time plain-JSON view of every series."""

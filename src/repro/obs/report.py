@@ -30,10 +30,14 @@ from . import trace as obs_trace
 MODELS = ("resnet50", "scr-resnet50", "densenet121")
 
 
-def _resolve_target(
+def resolve_target(
     target: str, model: str, batch: int, backend: str | None = None
 ) -> Callable[[], object]:
-    """A zero-argument callable reproducing ``target`` (or raise KeyError)."""
+    """A zero-argument callable reproducing ``target`` (or raise KeyError).
+
+    Shared by ``profile`` and the telemetry CLI commands (``flight``,
+    ``metrics-export``) that need to run a workload before exporting.
+    """
     if target in MODELS:
         def run_model():
             from ..backends import available_backends
@@ -59,6 +63,10 @@ def _resolve_target(
         raise KeyError(target)
     fn = registry[target]
     return lambda: fn(model=model, batch=batch)
+
+
+#: backwards-compatible private alias (pre-telemetry callers)
+_resolve_target = resolve_target
 
 
 # ---------------------------------------------------------------------------
@@ -134,13 +142,18 @@ def run_profile(
     backend: str | None = None,
     trace_path: str | os.PathLike | None = None,
     metrics_path: str | os.PathLike | None = None,
+    sample_interval_ms: float | None = None,
+    flamegraph_path: str | os.PathLike | None = None,
     echo: Callable[[str], None] = print,
 ) -> int:
     """Profile one artifact; returns a process exit code.
 
     ``backend`` restricts model targets to one registered backend
     (default: price on every registered backend); figure targets carry
-    their backend by construction and ignore it.
+    their backend by construction and ignore it.  ``sample_interval_ms``
+    (``--profile-sample``) additionally runs the wall-clock stack
+    sampler over the run and reports the hottest collapsed stacks;
+    ``flamegraph_path`` writes them as a standalone SVG flamegraph.
     """
     if backend is not None:
         from ..backends import get_backend
@@ -158,9 +171,17 @@ def run_profile(
              f"or one of {', '.join(MODELS)}")
         return 2
 
+    sampler = None
+    if sample_interval_ms is not None:
+        from . import sampler as obs_sampler
+
+        sampler = obs_sampler.StackSampler(
+            interval_s=sample_interval_ms / 1e3)
     obs_metrics.reset()
     t0 = time.perf_counter()
     try:
+        if sampler is not None:
+            sampler.start()
         with obs_trace.capture() as tracer:
             with obs_trace.span("profile", target=target, model=model,
                                 batch=batch):
@@ -171,6 +192,9 @@ def run_profile(
         # tracer on its own finally path)
         obs_metrics.reset()
         raise
+    finally:
+        if sampler is not None:
+            sampler.stop()
     seconds = time.perf_counter() - t0
 
     roofline_lines: list[str] = []
@@ -207,6 +231,16 @@ def run_profile(
         echo(line)
     for line in roofline_lines:
         echo(line)
+    if sampler is not None:
+        counts = sampler.collapsed()
+        echo(f"sampler: {sampler.sample_count} samples @ "
+             f"{sample_interval_ms:g} ms "
+             f"({sampler.missed_ticks} missed ticks, "
+             f"{len(counts)} stacks)")
+        ordered = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        for stack, n in ordered[:8]:
+            leaf = stack.rsplit(";", 2)[-2:]
+            echo(f"  {n:>5}  {';'.join(leaf)}")
 
     if trace_path is not None:
         path = tracer.write(trace_path, process_name=f"repro profile {target}")
@@ -227,4 +261,13 @@ def run_profile(
             encoding="utf-8",
         )
         echo(f"wrote metrics  {path}")
+    if sampler is not None and flamegraph_path is not None:
+        from . import htmlreport as obs_htmlreport
+
+        fpath = pathlib.Path(flamegraph_path)
+        fpath.parent.mkdir(parents=True, exist_ok=True)
+        fpath.write_text(
+            obs_htmlreport.flamegraph_svg(sampler.collapsed()),
+            encoding="utf-8")
+        echo(f"wrote flamegraph {fpath}")
     return 0

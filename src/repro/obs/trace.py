@@ -11,18 +11,24 @@ Usage::
 
 Design rules:
 
-* **No-op by default.**  ``span()`` reads one module global; with no
-  tracer installed it returns a shared stateless null context manager, so
-  instrumented hot paths cost a function call and a branch.  The overhead
-  budget is enforced by a test (``tests/test_obs_trace.py``).
+* **Cheap by default.**  ``span()`` reads two module globals; with no
+  tracer installed and the :mod:`repro.obs.flight` recorder disabled it
+  returns a shared stateless null context manager.  With only the
+  (default-on) flight recorder active, a span costs one context
+  derivation, two clock reads and a ring append — both regimes are
+  bounded by tests (``tests/test_obs_trace.py``,
+  ``tests/test_obs_flight.py``).
 * **Thread-safe and nestable.**  Spans record their OS thread id, so the
   :class:`~repro.perf.parallel.ParallelRunner` workers appear as separate
-  tracks in Perfetto; recording appends under a lock.  Nesting needs no
-  bookkeeping: Chrome "X" (complete) events nest visually by time
-  containment per track.
-* **Timestamps are relative.**  Microseconds since the tracer was
-  created, from ``time.perf_counter`` — monotonic and comparable across
-  threads of one process.
+  tracks in Perfetto; recording appends under a lock.  Every real span
+  also derives a :class:`~repro.obs.flight.TraceContext` on entry, so
+  records carry explicit ``trace_id``/``span_id``/``parent_id`` linkage
+  on top of the visual time-containment nesting.
+* **Timestamps share one monotonic base.**  All spans are stamped from
+  :func:`repro.obs.flight.monotonic_us` — a single per-process
+  ``perf_counter`` epoch — so spans recorded by different workers (or
+  different tracers) merge in a consistent order.  Wall-clock enters
+  only as the trace epoch, exported as ``otherData`` metadata.
 """
 
 from __future__ import annotations
@@ -36,6 +42,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from . import flight as _flight
+
+monotonic_us = _flight.monotonic_us
+
 
 @dataclass(frozen=True)
 class SpanRecord:
@@ -47,32 +57,48 @@ class SpanRecord:
     dur_us: float
     tid: int
     args: dict[str, Any] = field(default_factory=dict)
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: str | None = None
 
 
 class _Span:
-    """Live span context manager bound to one tracer."""
+    """Live span context manager: derives a trace context on entry and
+    records to the bound tracer (if any) and the flight recorder."""
 
-    __slots__ = ("_tracer", "_name", "_cat", "_args", "_start")
+    __slots__ = ("_tracer", "_name", "_cat", "_args", "_start", "_ctx", "_prev")
 
-    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict) -> None:
+    def __init__(self, tracer: "Tracer | None", name: str, cat: str,
+                 args: dict) -> None:
         self._tracer = tracer
         self._name = name
         self._cat = cat
         self._args = args
         self._start = 0.0
+        self._ctx: _flight.TraceContext | None = None
+        self._prev: _flight.TraceContext | None = None
 
     def __enter__(self) -> "_Span":
-        self._start = self._tracer._now_us()
+        self._prev = _flight.current_context()
+        self._ctx = _flight.derive(self._prev)
+        _flight._set_context(self._ctx)
+        self._start = monotonic_us()
         return self
 
     def __exit__(self, *exc) -> None:
-        self._tracer._record(
-            self._name, self._cat, self._args, self._start, self._tracer._now_us()
-        )
+        end = monotonic_us()
+        _flight._set_context(self._prev)
+        ctx = self._ctx
+        assert ctx is not None  # __enter__ ran
+        if self._tracer is not None:
+            self._tracer._record(
+                self._name, self._cat, self._args, self._start, end, ctx)
+        _flight.record_span(
+            self._name, self._cat, self._args, self._start, end, ctx)
 
 
 class _NullSpan:
-    """Shared no-op stand-in returned while tracing is disabled."""
+    """Shared no-op stand-in returned while all recording is disabled."""
 
     __slots__ = ()
 
@@ -87,32 +113,47 @@ _NULL_SPAN = _NullSpan()
 
 
 class Tracer:
-    """Collects spans; thread-safe; exports Chrome ``trace_event`` JSON."""
+    """Collects spans; thread-safe; exports Chrome ``trace_event`` JSON.
+
+    Timestamps are stored relative to tracer creation but derive from the
+    module-wide monotonic base, so two tracers (or a tracer and the
+    flight recorder) order events identically.  ``epoch_wall_us`` pins
+    the tracer start to the wall clock for offline cross-process merges.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._events: list[SpanRecord] = []
         self._thread_names: dict[int, str] = {}
-        self._t0 = time.perf_counter()
+        self._t0_us = monotonic_us()
+        #: wall-clock (Unix epoch) microseconds at tracer creation
+        self.epoch_wall_us = _flight.wall_epoch_us() + self._t0_us
 
     # -- recording ----------------------------------------------------------
 
     def _now_us(self) -> float:
-        return (time.perf_counter() - self._t0) * 1e6
+        return monotonic_us() - self._t0_us
 
     def span(self, name: str, *, cat: str = "repro", **args: Any) -> _Span:
         return _Span(self, name, cat, args)
 
     def _record(
-        self, name: str, cat: str, args: dict, start_us: float, end_us: float
+        self, name: str, cat: str, args: dict,
+        start_us: float, end_us: float,
+        ctx: "_flight.TraceContext | None" = None,
     ) -> None:
+        """Append one span; absolute (module-monotonic) microsecond times
+        are re-based onto the tracer's start."""
         rec = SpanRecord(
             name=name,
             cat=cat,
-            start_us=start_us,
+            start_us=start_us - self._t0_us,
             dur_us=max(0.0, end_us - start_us),
             tid=threading.get_ident(),
             args=args,
+            trace_id=ctx.trace_id if ctx else "",
+            span_id=ctx.span_id if ctx else "",
+            parent_id=ctx.parent_id if ctx else None,
         )
         tname = threading.current_thread().name
         with self._lock:
@@ -121,8 +162,9 @@ class Tracer:
 
     def instant(self, name: str, *, cat: str = "repro", **args: Any) -> None:
         """Record a zero-duration marker event."""
-        now = self._now_us()
-        self._record(name, cat, args, now, now)
+        now = monotonic_us()
+        self._record(name, cat, args, now, now,
+                     _flight.derive(_flight.current_context()))
 
     # -- introspection ------------------------------------------------------
 
@@ -141,7 +183,9 @@ class Tracer:
 
         Spans become ``"X"`` (complete) events with microsecond ``ts`` /
         ``dur``; process and thread names ride along as ``"M"`` metadata
-        events so worker tracks are labeled.
+        events so worker tracks are labeled.  Trace-context ids travel in
+        each event's ``args``; the wall-clock anchor of ``ts == 0`` is
+        ``otherData.trace_epoch_wall_us``.
         """
         pid = os.getpid()
         events: list[dict] = [{
@@ -157,6 +201,12 @@ class Tracer:
                 "args": {"name": tname},
             })
         for rec in spans:
+            args = {k: _jsonable(v) for k, v in rec.args.items()}
+            if rec.trace_id:
+                args["trace_id"] = rec.trace_id
+                args["span_id"] = rec.span_id
+                if rec.parent_id is not None:
+                    args["parent_id"] = rec.parent_id
             events.append({
                 "name": rec.name,
                 "cat": rec.cat,
@@ -165,9 +215,15 @@ class Tracer:
                 "dur": round(rec.dur_us, 3),
                 "pid": pid,
                 "tid": rec.tid,
-                "args": {k: _jsonable(v) for k, v in rec.args.items()},
+                "args": args,
             })
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "trace_epoch_wall_us": round(self.epoch_wall_us, 3),
+            },
+        }
 
     def write(self, path: str | os.PathLike, **kwargs: Any) -> pathlib.Path:
         """Serialize :meth:`chrome_trace` to ``path``; returns the path."""
@@ -195,7 +251,13 @@ _INSTALL_LOCK = threading.Lock()
 
 
 def active() -> bool:
-    """True while a tracer is installed (detailed instrumentation gate)."""
+    """True while a tracer is installed (detailed instrumentation gate).
+
+    Deliberately *not* influenced by the flight recorder: per-item
+    detail (bound-gap histograms, per-candidate timings) stays gated on
+    an explicit tracer so the always-on recorder keeps its coarse,
+    bounded event rate.
+    """
     return _TRACER is not None
 
 
@@ -239,15 +301,38 @@ def capture(tracer: Tracer | None = None) -> Iterator[Tracer]:
 
 
 def span(name: str, *, cat: str = "repro", **args: Any):
-    """A span under the installed tracer, or a shared no-op without one."""
+    """A span recorded by the installed tracer and/or the flight
+    recorder, or a shared no-op when both are off."""
     tracer = _TRACER
-    if tracer is None:
+    if tracer is None and not _flight.enabled():
         return _NULL_SPAN
-    return tracer.span(name, cat=cat, **args)
+    return _Span(tracer, name, cat, args)
 
 
 def instant(name: str, *, cat: str = "repro", **args: Any) -> None:
-    """A zero-duration marker (no-op while tracing is disabled)."""
+    """A zero-duration marker (no-op while all recording is disabled)."""
     tracer = _TRACER
+    flight_on = _flight.enabled()
+    if tracer is None and not flight_on:
+        return
+    ctx = _flight.derive(_flight.current_context())
+    now = monotonic_us()
     if tracer is not None:
-        tracer.instant(name, cat=cat, **args)
+        tracer._record(name, cat, args, now, now, ctx)
+    if flight_on:
+        _flight.recorder().record(_flight.FlightEvent(
+            kind="instant", name=name, cat=cat, ts_us=now, dur_us=0.0,
+            tid=threading.get_ident(),
+            trace_id=ctx.trace_id, span_id=ctx.span_id,
+            parent_id=ctx.parent_id, args=args,
+        ))
+
+
+# re-exported for instrumented sites that only import trace
+__all__ = [
+    "SpanRecord", "Tracer", "active", "capture", "current", "install",
+    "instant", "monotonic_us", "span", "uninstall",
+]
+
+# keep `time` imported for backwards compatibility of monkeypatching tests
+_ = time

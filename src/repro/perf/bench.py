@@ -234,6 +234,8 @@ def run_bench(
     backends: Sequence[str] = ("gpu", "arm"),
     trace_path: str | os.PathLike | None = None,
     metrics_path: str | os.PathLike | None = None,
+    sample_interval_ms: float | None = None,
+    flamegraph_path: str | os.PathLike | None = None,
     save: bool = False,
     history_dir: str | os.PathLike | None = None,
     echo: Callable[[str], None] = print,
@@ -253,6 +255,13 @@ def run_bench(
     the Chrome trace there — timings then include tracing overhead, so
     leave it off for regression comparisons.  ``metrics_path`` writes the
     same metrics snapshot standalone.
+
+    ``sample_interval_ms`` runs the :mod:`repro.obs.sampler` wall-clock
+    stack sampler over the whole bench (``--profile-sample``); the report
+    gains a ``sampler`` block with collapsed stacks, and
+    ``flamegraph_path`` additionally renders them as a standalone SVG
+    flamegraph.  Like tracing, sampling perturbs the timings slightly —
+    leave it off for regression comparisons.
 
     ``save=True`` appends a schema-v3 entry (git sha, machine
     fingerprint, deterministic per-figure cycles/series, wall-clock,
@@ -274,6 +283,12 @@ def run_bench(
     with ExitStack() as stack:
         tracer = (stack.enter_context(obs_trace.capture())
                   if trace_path is not None else None)
+        sampler = None
+        if sample_interval_ms is not None:
+            from ..obs import sampler as obs_sampler
+
+            sampler = stack.enter_context(
+                obs_sampler.sampling(interval_s=sample_interval_ms / 1e3))
         stack.enter_context(_isolated_cache_dir(cache_dir))
         serial = cold = warm = None
         if "gpu" in backends:
@@ -338,6 +353,10 @@ def run_bench(
         "arm_schedule": arm_section,
         "metrics": obs_metrics.snapshot(),
     }
+    if sampler is not None:
+        # additive block (no schema bump): collapsed wall-clock stacks
+        # from the deterministic-interval sampler, heaviest first
+        payload["sampler"] = sampler.summary(top=50)
 
     out_dir = pathlib.Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -380,6 +399,20 @@ def run_bench(
             site="bench.metrics", key=mpath.name, indent=2, sort_keys=True,
         )
         echo(f"wrote metrics {mpath}")
+    if sampler is not None:
+        echo(f"sampler: {sampler.sample_count} samples @ "
+             f"{sample_interval_ms:g} ms "
+             f"({sampler.missed_ticks} missed ticks, "
+             f"{payload['sampler']['distinct_stacks']} stacks)")
+        if flamegraph_path is not None:
+            from ..obs import htmlreport as obs_htmlreport
+
+            fpath = pathlib.Path(flamegraph_path)
+            fpath.parent.mkdir(parents=True, exist_ok=True)
+            fpath.write_text(
+                obs_htmlreport.flamegraph_svg(sampler.collapsed()),
+                encoding="utf-8")
+            echo(f"wrote flamegraph {fpath}")
     if not (identical_best and identical_series):
         raise AssertionError(
             "bench equivalence check failed: engine results differ from the "

@@ -26,6 +26,7 @@ import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from ..obs import flight as obs_flight
 from ..obs import log as obs_log
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
@@ -33,6 +34,27 @@ from ..resilience import faults as res_faults
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class _ContextCall:
+    """Picklable wrapper re-activating a trace context around ``fn``.
+
+    Process-pool workers import their own :mod:`repro.obs.flight` with
+    its own ring buffer, so worker-side events stay in the worker — but
+    the *context* still propagates: anything the worker records (or
+    returns for the parent to record) carries the sweep's trace_id and a
+    parent span that resolves in the parent's trace.
+    """
+
+    __slots__ = ("fn", "ctx")
+
+    def __init__(self, fn, ctx) -> None:
+        self.fn = fn
+        self.ctx = ctx
+
+    def __call__(self, item):
+        with obs_flight.context(self.ctx):
+            return self.fn(item)
 
 #: environment variable overriding the worker count
 JOBS_ENV = "REPRO_JOBS"
@@ -134,11 +156,18 @@ class ParallelRunner:
             with pool, obs_trace.span(
                 "parallel.map", mode="process", items=n, jobs=self.jobs
             ):
-                return list(pool.map(fn, items, chunksize=chunksize))
+                # the map span's context, shipped into each worker so
+                # worker-side records join the caller's trace tree
+                call = _ContextCall(fn, obs_flight.current_context())
+                return list(pool.map(call, items, chunksize=chunksize))
         with pool, obs_trace.span(
             "parallel.map", mode="thread", items=n, jobs=self.jobs
         ):
-            observe = obs_trace.active()
+            observe = obs_trace.active() or obs_flight.enabled()
+            # captured inside the map span: worker chunks re-activate it
+            # so their spans are children of parallel.map, not orphans on
+            # whatever the pool thread last ran
+            parent_ctx = obs_flight.current_context()
 
             def run_chunk(idx: range) -> list[R]:
                 # keyed by chunk start: deterministic no matter which
@@ -149,13 +178,14 @@ class ParallelRunner:
                 # per-worker task timing: the span lands on the worker
                 # thread's track, so Perfetto shows pool utilization
                 t0 = time.perf_counter()
-                with obs_trace.span(
-                    "parallel.chunk", start=idx.start, size=len(idx)
-                ):
-                    res = [fn(items[i]) for i in idx]
-                obs_metrics.histogram(
-                    "parallel_chunk_seconds", mode=self.mode
-                ).observe(time.perf_counter() - t0)
+                with obs_flight.context(parent_ctx):
+                    with obs_trace.span(
+                        "parallel.chunk", start=idx.start, size=len(idx)
+                    ):
+                        res = [fn(items[i]) for i in idx]
+                    obs_metrics.histogram(
+                        "parallel_chunk_seconds", mode=self.mode
+                    ).observe(time.perf_counter() - t0)
                 obs_metrics.counter(
                     "parallel_tasks", mode=self.mode
                 ).inc(len(idx))

@@ -36,7 +36,9 @@ Spec grammar (rules separated by ``;``)::
   ``corrupt`` (default 8)
 
 Every firing increments ``faults_injected{site=,kind=}`` in
-:mod:`repro.obs.metrics` and logs a ``fault_injected`` event.
+:mod:`repro.obs.metrics`, logs a ``fault_injected`` event, and drops a
+structured instant marker into the :mod:`repro.obs.flight` ring so chaos
+runs are replayable span-by-span.
 """
 
 from __future__ import annotations
@@ -51,6 +53,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from ..errors import ReproError
+from ..obs import flight as obs_flight
 from ..obs import log as obs_log
 from ..obs import metrics as obs_metrics
 
@@ -184,6 +187,12 @@ class FaultPlan:
         obs_metrics.counter("faults_injected", site=site, kind=rule.kind).inc()
         obs_log.info(
             "fault_injected", logger="repro.resilience.faults",
+            site=site, key=key, kind=rule.kind, attempt=attempt,
+        )
+        # structured marker in the flight ring: a chaos run's injections
+        # replay right next to the spans they perturbed
+        obs_flight.instant(
+            "fault_injected", cat="fault",
             site=site, key=key, kind=rule.kind, attempt=attempt,
         )
         return attempt

@@ -47,6 +47,26 @@ def execute_graph(
     cur_scale: float = 1.0
     cur_bits: int = 8
 
+    # root span for the whole run: per-op spans below become its
+    # children, so one executor invocation is one subtree in the flight
+    # recorder (the serving layer's future per-request unit)
+    with obs_trace.span("executor.graph", cat="executor", ops=len(graph)):
+        cur, cur_q, cur_scale, cur_bits = _run_ops(
+            graph, cur, cur_q, cur_scale, cur_bits,
+            weights, weight_scales, biases)
+    return cur
+
+
+def _run_ops(
+    graph: Graph,
+    cur: np.ndarray,
+    cur_q: "np.ndarray | None",
+    cur_scale: float,
+    cur_bits: int,
+    weights: dict[str, np.ndarray],
+    weight_scales: dict[str, float],
+    biases: dict[str, np.ndarray],
+) -> "tuple[np.ndarray, np.ndarray | None, float, int]":
     for op in graph:
         t_op = time.perf_counter()
         with obs_trace.span(f"op.{op.kind}", cat="executor"):
@@ -105,7 +125,7 @@ def execute_graph(
         obs_metrics.histogram(
             "executor_op_seconds", kind=op.kind
         ).observe(time.perf_counter() - t_op)
-    return cur
+    return cur, cur_q, cur_scale, cur_bits
 
 
 # ---------------------------------------------------------------------------

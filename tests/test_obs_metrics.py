@@ -19,6 +19,56 @@ def test_metric_key_canonicalization():
         metric_key("hits", {"bits": 4, "ns": "gpu"}) == "hits{bits=4,ns=gpu}"
 
 
+def test_metric_key_escapes_special_label_values():
+    """Regression: values containing the key's own structural characters
+    (`,` `{` `}` `=`) used to collide — ``{"a": "1,b=2"}`` keyed the same
+    as ``{"a": "1", "b": "2"}``."""
+    collide_a = metric_key("m", {"a": "1,b=2"})
+    collide_b = metric_key("m", {"a": "1", "b": "2"})
+    assert collide_a != collide_b
+    assert collide_a == "m{a=1\\,b\\=2}"
+    # backslashes themselves escape, so escaping never cascades ambiguously
+    assert metric_key("m", {"a": "\\"}) == "m{a=\\\\}"
+    assert metric_key("m", {"p": "x{y}"}) == "m{p=x\\{y\\}}"
+
+
+def test_metric_key_round_trips_through_parse():
+    cases = [
+        ("plain", {}),
+        ("hits", {"ns": "gpu", "bits": "4"}),
+        ("m", {"a": "1,b=2"}),
+        ("m", {"a": "1", "b": "2"}),
+        ("m", {"path": "a\\b{c}=d,e"}),
+    ]
+    for name, labels in cases:
+        parsed = metrics.parse_metric_key(metric_key(name, labels))
+        assert parsed == (name, labels), f"round-trip failed for {labels}"
+
+
+def test_metric_key_distinct_labels_stay_distinct():
+    nasty = [
+        {"a": "1,b=2"}, {"a": "1", "b": "2"}, {"a": "1\\,b\\=2"},
+        {"a": "{"}, {"a": "}"}, {"a": "="}, {"a": ","}, {"a": "\\"},
+    ]
+    keys = [metric_key("m", labels) for labels in nasty]
+    assert len(set(keys)) == len(nasty)
+
+
+def test_metric_key_rejects_malformed_names():
+    with pytest.raises(ValueError):
+        metric_key("bad{name", {})
+    with pytest.raises(ValueError):
+        metric_key("m", {"not a name": "v"})
+    with pytest.raises(ValueError):
+        metric_key("m", {"no=eq": "v"})
+
+
+def test_escape_label_value_inverse():
+    for raw in ("", "plain", "a,b", "{x}", "k=v", "\\", "a\\,b", "\\\\"):
+        assert metrics.unescape_label_value(
+            metrics.escape_label_value(raw)) == raw
+
+
 def test_counter_inc_and_identity():
     reg = MetricsRegistry()
     c = reg.counter("lookups", ns="a", outcome="hit")

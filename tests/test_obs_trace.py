@@ -10,19 +10,34 @@ import json
 import threading
 import time
 
-from repro.obs import trace
+from repro.obs import flight, trace
 
 
 def test_disabled_by_default():
     assert trace.active() is False
     assert trace.current() is None
-    # the null span is shared and stateless
-    s1 = trace.span("anything", bits=4)
-    s2 = trace.span("else")
-    assert s1 is s2
-    with s1:
-        pass  # records nowhere, raises nothing
-    trace.instant("marker")  # also a no-op
+    with flight.suspended():
+        # with the flight recorder also off, the null span is shared
+        # and stateless — the true zero-cost path
+        s1 = trace.span("anything", bits=4)
+        s2 = trace.span("else")
+        assert s1 is s2
+        with s1:
+            pass  # records nowhere, raises nothing
+        trace.instant("marker")  # also a no-op
+
+
+def test_spans_land_in_flight_ring_without_a_tracer():
+    """No tracer installed, flight recorder on (the default): spans are
+    still captured in the ring, carrying trace-context ids."""
+    assert trace.active() is False
+    with flight.capture() as rec:
+        with trace.span("orphanless", cat="test", k=1):
+            pass
+    spans = flight.span_events(rec.events())
+    assert [s.name for s in spans] == ["orphanless"]
+    assert spans[0].trace_id and spans[0].span_id
+    assert flight.unresolved_parents(rec.events()) == []
 
 
 def test_instrumented_paths_add_no_spans_when_disabled():
@@ -185,14 +200,31 @@ def test_chrome_trace_round_trip_reconstructs_span_tree(tmp_path):
 
 def test_disabled_span_overhead_is_negligible():
     """The ISSUE budget: instrumentation compiled into hot paths must be
-    near-free while no tracer is installed.  Bound the per-call cost very
-    loosely (CI machines vary wildly) — the point is catching an accidental
-    always-on allocation or lock, which costs 100x this bound."""
+    near-free while no tracer is installed — and the *default* default is
+    flight recording ON, so this measures the always-on ring-append path,
+    not a pure no-op.  Bound the per-call cost very loosely (CI machines
+    vary wildly) — the point is catching an accidental heavyweight
+    allocation or lock convoy, which costs 100x this bound."""
     assert not trace.active()
+    assert flight.enabled()  # measuring the realistic default path
     n = 20_000
     t0 = time.perf_counter()
     for _ in range(n):
         with trace.span("hot", k=1):
             pass
     per_call = (time.perf_counter() - t0) / n
+    assert per_call < 20e-6, f"flight-only span costs {per_call * 1e6:.2f} us"
+
+
+def test_fully_disabled_span_overhead_is_negligible():
+    """With the flight recorder suspended too, the shared null span is
+    returned and the per-call cost is two global reads."""
+    assert not trace.active()
+    n = 20_000
+    with flight.suspended():
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with trace.span("hot", k=1):
+                pass
+        per_call = (time.perf_counter() - t0) / n
     assert per_call < 20e-6, f"disabled span costs {per_call * 1e6:.2f} us"
