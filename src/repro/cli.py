@@ -27,10 +27,19 @@ Commands
     %-of-roof per backend, the Fig. 1 CAL/LD ratio, the Sec. 3.3 chain
     overhead, and the bench-history tail — as text, or as a
     self-contained HTML dashboard with ``--html``.
-``regress [--baseline SHA] [--no-wall]``
+``regress [--baseline SHA] [--no-wall] [--json] [--attribute]``
     Compare the newest ``bench --save`` ledger entry against a baseline:
     model cycles bit-identical, wall clock within a noise-aware median
-    threshold.  Exits non-zero on regression (the CI gate).
+    threshold.  Exits non-zero on regression (the CI gate).  ``--json``
+    emits one machine-readable verdict object; ``--attribute`` runs the
+    differential-profiling engine on failure and embeds the ranked
+    attribution (``--no-collect`` keeps it byte-stable for CI).
+``diff A B [--flamegraph out.svg] [--json] [--top N]``
+    Differential profiling between two runs: each side is a trace JSON,
+    collapsed-stack file, metrics snapshot, BENCH report, or a ledger
+    selector (``-1``/``-2``, run-id / git-sha / fingerprint prefix).
+    Prints ranked phase/span/frame/metric deltas + ledger changepoints;
+    ``--flamegraph`` writes the red/blue differential flamegraph SVG.
 ``chaos``
     Run the :mod:`repro.resilience.chaos` scenarios: autotune under a
     seeded transient-fault plan must return bit-identical winners,
@@ -175,6 +184,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             history_dir=args.history_dir,
             sample_interval_ms=args.profile_sample,
             flamegraph_path=args.flamegraph,
+            stacks_path=args.stacks,
         )
     except AssertionError as exc:
         print(f"bench FAILED: {exc}", file=sys.stderr)
@@ -194,6 +204,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         metrics_path=args.metrics,
         sample_interval_ms=args.profile_sample,
         flamegraph_path=args.flamegraph,
+        stacks_path=args.stacks,
     )
 
 
@@ -313,19 +324,26 @@ def cmd_report(args: argparse.Namespace) -> int:
         from .obs.htmlreport import write_report
 
         sample = None
-        if args.sample_collapsed:
+        diff_sample = None
+        if args.sample_collapsed or args.diff_collapsed:
             import pathlib
 
             from .obs import sampler as obs_sampler
 
-            sample = obs_sampler.parse_collapsed(
-                pathlib.Path(args.sample_collapsed).read_text(
-                    encoding="utf-8"))
+            if args.sample_collapsed:
+                sample = obs_sampler.parse_collapsed(
+                    pathlib.Path(args.sample_collapsed).read_text(
+                        encoding="utf-8"))
+            if args.diff_collapsed:
+                diff_sample = tuple(
+                    obs_sampler.parse_collapsed(
+                        pathlib.Path(p).read_text(encoding="utf-8"))
+                    for p in args.diff_collapsed)
         try:
             path = write_report(
                 args.html, model=args.model, backends=backends,
                 batch=args.batch, history_dir=args.history_dir,
-                sample=sample,
+                sample=sample, diff_sample=diff_sample,
             )
         except ReproError as exc:
             print(f"report FAILED: {exc}", file=sys.stderr)
@@ -372,7 +390,54 @@ def cmd_regress(args: argparse.Namespace) -> int:
         wall_tolerance=(args.wall_tolerance if args.wall_tolerance is not None
                         else DEFAULT_WALL_TOLERANCE),
         check_wall=not args.no_wall,
+        json_out=args.json,
+        attribute=args.attribute,
+        attribute_top=args.top,
+        collect=not args.no_collect,
     )
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .obs import diff as obs_diff
+
+    try:
+        a = obs_diff.load_side(args.a, history_dir=args.history_dir)
+        b = obs_diff.load_side(args.b, history_dir=args.history_dir)
+    except (ValueError, OSError) as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return 2
+    report = obs_diff.diff_sides(a, b)
+    if a.kind == "ledger" and b.kind == "ledger" and b.entry is not None:
+        from .obs.history import BenchLedger
+
+        entries = BenchLedger(args.history_dir).entries()
+        if entries:
+            obs_diff.attach_ledger_changepoints(report, entries, b.entry)
+    if args.flamegraph:
+        if report.stacks_a is None or report.stacks_b is None:
+            print("diff: --flamegraph needs collapsed stacks on both sides "
+                  "(export them with `bench`/`profile` --profile-sample "
+                  "--stacks OUT.txt)", file=sys.stderr)
+            return 2
+        svg = obs_diff.differential_flamegraph_svg(
+            report.stacks_a, report.stacks_b,
+            label_a=report.label_a, label_b=report.label_b)
+        path = pathlib.Path(args.flamegraph)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(svg, encoding="utf-8")
+        # stdout stays pure JSON under --json; the note goes to stderr
+        print(f"wrote differential flamegraph {path}",
+              file=sys.stderr if args.json else sys.stdout)
+    if args.json:
+        sys.stdout.write(report.to_json(top=args.top))
+        return 0
+    print(f"== diff: {report.label_a} [{report.kind_a}] -> "
+          f"{report.label_b} [{report.kind_b}] ==")
+    for line in report.table(top=args.top):
+        print(line)
+    return 0
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -457,6 +522,9 @@ def build_parser() -> argparse.ArgumentParser:
     bp.add_argument("--flamegraph", default=None, metavar="OUT.svg",
                     help="write the sampled stacks as a flamegraph SVG "
                          "(requires --profile-sample)")
+    bp.add_argument("--stacks", default=None, metavar="OUT.txt",
+                    help="write the sampled stacks as collapsed-stack text "
+                         "for `repro diff` (requires --profile-sample)")
     bp.set_defaults(fn=cmd_bench)
 
     pp = sub.add_parser(
@@ -483,6 +551,9 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--flamegraph", default=None, metavar="OUT.svg",
                     help="write the sampled stacks as a flamegraph SVG "
                          "(requires --profile-sample)")
+    pp.add_argument("--stacks", default=None, metavar="OUT.txt",
+                    help="write the sampled stacks as collapsed-stack text "
+                         "for `repro diff` (requires --profile-sample)")
     pp.set_defaults(fn=cmd_profile)
 
     rr = sub.add_parser(
@@ -502,6 +573,10 @@ def build_parser() -> argparse.ArgumentParser:
     rr.add_argument("--sample-collapsed", default=None, metavar="FILE",
                     help="collapsed-stack file (from the sampler) to render "
                          "as a flamegraph panel in the --html dashboard")
+    rr.add_argument("--diff-collapsed", default=None, nargs=2,
+                    metavar=("A", "B"),
+                    help="two collapsed-stack files to render as a red/blue "
+                         "differential flamegraph in the --html dashboard")
     rr.set_defaults(fn=cmd_report)
 
     gp = sub.add_parser(
@@ -520,7 +595,40 @@ def build_parser() -> argparse.ArgumentParser:
                     help="flat wall-clock tolerance fraction (default 0.5)")
     gp.add_argument("--no-wall", action="store_true",
                     help="demote wall-clock overruns to advisory warnings")
+    gp.add_argument("--json", action="store_true",
+                    help="emit one machine-readable JSON verdict object "
+                         "instead of the text table")
+    gp.add_argument("--attribute", action="store_true",
+                    help="on failure, run the repro.obs.diff attribution "
+                         "(ranked phase/metric deltas + ledger changepoints)")
+    gp.add_argument("--top", type=int, default=10, metavar="N",
+                    help="rows per attribution section (default 10)")
+    gp.add_argument("--no-collect", action="store_true",
+                    help="skip the fresh trace+sample hot-spot collection "
+                         "(keeps --attribute output deterministic; CI does)")
     gp.set_defaults(fn=cmd_regress)
+
+    dp = sub.add_parser(
+        "diff",
+        help="differential profiling between two runs: ranked attribution "
+             "+ red/blue differential flamegraph")
+    dp.add_argument("a", metavar="A",
+                    help="first run: trace/BENCH/metrics JSON, collapsed-"
+                         "stack file, or a ledger selector (-2, run_id / "
+                         "git sha / fingerprint prefix)")
+    dp.add_argument("b", metavar="B",
+                    help="second run (same forms; -1 is the newest entry)")
+    dp.add_argument("--history-dir", default=None, metavar="DIR",
+                    help="ledger directory for selector sides "
+                         "(default: $REPRO_BENCH_DIR or benchmarks/history)")
+    dp.add_argument("--flamegraph", default=None, metavar="OUT.svg",
+                    help="write the red/blue differential flamegraph "
+                         "(needs collapsed stacks on both sides)")
+    dp.add_argument("--json", action="store_true",
+                    help="emit the byte-stable JSON report on stdout")
+    dp.add_argument("--top", type=int, default=10, metavar="N",
+                    help="rows per ranked section (default 10)")
+    dp.set_defaults(fn=cmd_diff)
 
     sub.add_parser(
         "chaos",

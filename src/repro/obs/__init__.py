@@ -46,10 +46,15 @@ Derived analytics build on those primitives:
   cycles, wall clock, metrics);
 * :mod:`repro.obs.regress` — ``python -m repro regress``, the CI
   perf-regression sentinel over that ledger (cycles bit-identical, wall
-  clock within a noise-aware median threshold);
+  clock within a noise-aware median threshold; ``--attribute`` explains
+  failures via the diff engine below);
+* :mod:`repro.obs.diff` — differential profiling (``python -m repro
+  diff A B``): ranked attribution between two runs — tree-aligned span
+  deltas, wall-clock phase deltas, counter/histogram deltas, ledger
+  changepoint detection, and the red/blue differential flamegraph;
 * :mod:`repro.obs.htmlreport` — the self-contained ``python -m repro
   report --html`` dashboard (roofline scatter, chain-overhead bars,
-  ledger trends; no external assets).
+  ledger trends, attribution card; no external assets).
 
 The text reporting surface is ``python -m repro profile <figure|model>``
 (:mod:`repro.obs.report`), which runs one artifact under a fresh tracer +

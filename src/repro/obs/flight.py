@@ -264,7 +264,9 @@ class FlightRecorder:
         anchor of that origin rides in ``otherData.trace_epoch_wall_us``
         so dumps from different processes can be merged offline.  Spans
         become ``"X"`` events, instants ``"i"`` events; trace ids travel
-        in ``args``.
+        in ``args`` (the same ``span_id``/``parent_id`` keys
+        :func:`repro.obs.diff.spans_from_chrome` aligns trees by, so two
+        ``flight --dump`` files diff directly).
         """
         events = self.events(last_s=last_s)
         with self._lock:

@@ -162,6 +162,35 @@ class BenchLedger:
         """The newest ``n`` entries, newest first."""
         return list(reversed(self.entries()[-n:]))
 
+    def select(self, spec: str) -> dict:
+        """One entry by selector: a negative index (``"-1"`` = newest,
+        ``"-2"`` the one before) or a run-id / git-sha / machine-
+        fingerprint prefix (newest match wins — ``repro diff`` and
+        ``regress --baseline`` both resolve sides this way).  Raises
+        ``ValueError`` when nothing matches, naming what was tried."""
+        entries = self.entries()
+        if not entries:
+            raise ValueError(
+                f"ledger selector {spec!r}: the ledger at {self.path} is "
+                f"empty (run `repro bench --save` first)")
+        try:
+            idx = int(spec)
+        except ValueError:
+            idx = None
+        if idx is not None and idx < 0:
+            if -idx > len(entries):
+                raise ValueError(
+                    f"ledger selector {spec!r}: only {len(entries)} entries")
+            return entries[idx]
+        for entry in reversed(entries):
+            if (entry.get("run_id", "").startswith(spec)
+                    or (entry.get("git_sha") or "").startswith(spec)
+                    or (entry.get("fingerprint") or "").startswith(spec)):
+                return entry
+        raise ValueError(
+            f"ledger selector {spec!r} matches no run_id/git_sha/"
+            f"fingerprint among {len(entries)} entries")
+
     def __len__(self) -> int:
         return len(self.entries())
 

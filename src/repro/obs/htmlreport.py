@@ -7,7 +7,11 @@ One file, no external assets or scripts: inline CSS (light + dark via
   compute/memory roofs drawn in, points keyed by bit width);
 * the Sec. 3.3 accumulation-chain overhead bars per bit width;
 * the Fig. 1 CAL/LD table (traditional vs re-designed GEMM, ~4x);
-* the bench-history ledger tail with per-phase wall-clock sparklines.
+* the bench-history ledger tail with per-phase wall-clock sparklines;
+* an **attribution card** (when the ledger holds two comparable runs):
+  the :mod:`repro.obs.diff` ranked phase deltas and changepoints between
+  the newest pair, plus — with ``--diff-collapsed A B`` — the red/blue
+  differential flamegraph of two collapsed-stack exports.
 
 Every chart carries a ``<details>`` data table (the accessibility/table
 view), native ``<title>`` tooltips on marks, and a colorblind-validated
@@ -299,6 +303,86 @@ def _roofline_rows(points: Sequence[RooflinePoint]) -> str:
     )
 
 
+def _attribution_sections(
+    all_entries: Sequence[dict],
+    diff_sample: "tuple[dict[str, int], dict[str, int]] | None",
+) -> list[str]:
+    """The attribution card: :mod:`repro.obs.diff` between the newest
+    ledger entry and the newest earlier comparable one (same config +
+    fingerprint), plus the differential flamegraph when a collapsed-stack
+    pair was supplied.  Omitted entirely when the ledger can't support a
+    comparison and no pair was given."""
+    from . import diff as obs_diff
+    from .regress import _config_key
+
+    sections: list[str] = []
+    pair = None
+    if len(all_entries) >= 2:
+        cand = all_entries[-1]
+        for prev in reversed(all_entries[:-1]):
+            if (_config_key(prev) == _config_key(cand)
+                    and prev.get("fingerprint") == cand.get("fingerprint")):
+                pair = (prev, cand)
+                break
+    if pair is not None:
+        base, cand = pair
+        report = obs_diff.attribute_entries(
+            base, cand, ledger_entries=list(all_entries))
+        top = report.top_phase()
+        headline = (
+            f"top delta: <b>{_esc(top.phase)}</b> "
+            f"{top.seconds_a:.3f}s &rarr; {top.seconds_b:.3f}s "
+            f"({top.ratio:.2f}&times;)" if top is not None
+            else "no phase shifted beyond the noise floor")
+        sections += [
+            "<h2>Attribution — newest comparable ledger pair</h2>",
+            "<div class='card'>",
+            f"<p class='sub'>{_esc(base.get('run_id', '?'))} &rarr; "
+            f"{_esc(cand.get('run_id', '?'))} — {headline}. Ranked by "
+            f"|log ratio| with a {obs_diff.PHASE_FLOOR_S * 1e3:g} ms "
+            f"noise floor (DESIGN.md §5.13).</p>",
+            _table(("phase", "A (s)", "B (s)", "delta (s)", "ratio", "rank"),
+                   [(d.phase,
+                     f"{d.seconds_a:.4f}" if d.seconds_a is not None else "—",
+                     f"{d.seconds_b:.4f}" if d.seconds_b is not None else "—",
+                     f"{d.delta:+.4f}" if d.delta is not None else "—",
+                     f"{d.ratio:.2f}×" if d.ratio is not None else "—",
+                     "floored" if d.floored else f"{d.score:.2f}")
+                    for d in report.phases]),
+        ]
+        if report.changepoints:
+            sections += [
+                "<p class='sub'>changepoints over the comparable ledger "
+                "series:</p>",
+                _table(("phase", "first changed run", "sha", "before (s)",
+                        "after (s)", "shift", "score"),
+                       [(c.phase, c.run_id, (c.git_sha or "")[:10],
+                         f"{c.before_mean:.4f}", f"{c.after_mean:.4f}",
+                         f"{c.shift:.2f}×", f"{c.score:.2f}")
+                        for c in report.changepoints]),
+            ]
+        if report.counters:
+            sections += [
+                "<details><summary>counter deltas</summary>",
+                _table(("counter", "A", "B", "delta"),
+                       [(d.key, f"{d.a:g}", f"{d.b:g}", f"{d.delta:+g}")
+                        for d in report.counters[:20]]),
+                "</details>",
+            ]
+        sections.append("</div>")
+    if diff_sample is not None:
+        counts_a, counts_b = diff_sample
+        sections += [
+            "<h2>Differential flamegraph</h2>",
+            "<div class='card'>",
+            "<p class='sub'>red: grew in run B, blue: shrank — sample "
+            "shares (A normalized to B's total; see DESIGN.md §5.13).</p>",
+            obs_diff.differential_flamegraph_svg(counts_a, counts_b),
+            "</div>",
+        ]
+    return sections
+
+
 # ---------------------------------------------------------------------------
 # The dashboard
 # ---------------------------------------------------------------------------
@@ -311,13 +395,17 @@ def render_report(
     batch: int = 1,
     history_dir: str | os.PathLike | None = None,
     sample: "dict[str, int] | None" = None,
+    diff_sample: "tuple[dict[str, int], dict[str, int]] | None" = None,
 ) -> str:
     """Build the dashboard HTML string (prices layers on each backend).
 
     ``sample`` — collapsed-stack counts from
     :meth:`repro.obs.sampler.StackSampler.collapsed` (or a parsed
     collapsed file) — adds a flamegraph panel of the sampled wall-clock
-    profile.
+    profile.  ``diff_sample`` — an (A, B) pair of collapsed-stack count
+    dicts (``--diff-collapsed A B``) — adds the red/blue differential
+    flamegraph.  An attribution card between the two newest comparable
+    ledger runs is added automatically whenever the ledger allows it.
     """
     from .history import BenchLedger
 
@@ -329,7 +417,8 @@ def render_report(
             per_backend[name] = (points, bit_list)
         cal_ld = model_cal_ld(model, batch=batch)
         chains = chain_overhead_table()
-        entries = BenchLedger(history_dir).latest(10)
+        all_entries = BenchLedger(history_dir).entries()
+        entries = list(reversed(all_entries[-10:]))
 
     geomean = math.exp(
         sum(math.log(r["improvement"]) for r in cal_ld) / len(cal_ld))
@@ -399,6 +488,8 @@ def render_report(
                     for stack, n in top]),
             "</details></div>",
         ]
+
+    sections += _attribution_sections(all_entries, diff_sample)
 
     sections.append("<h2>Bench history (newest first)</h2><div class='card'>")
     if entries:

@@ -144,6 +144,7 @@ def run_profile(
     metrics_path: str | os.PathLike | None = None,
     sample_interval_ms: float | None = None,
     flamegraph_path: str | os.PathLike | None = None,
+    stacks_path: str | os.PathLike | None = None,
     echo: Callable[[str], None] = print,
 ) -> int:
     """Profile one artifact; returns a process exit code.
@@ -153,7 +154,9 @@ def run_profile(
     their backend by construction and ignore it.  ``sample_interval_ms``
     (``--profile-sample``) additionally runs the wall-clock stack
     sampler over the run and reports the hottest collapsed stacks;
-    ``flamegraph_path`` writes them as a standalone SVG flamegraph.
+    ``flamegraph_path`` writes them as a standalone SVG flamegraph and
+    ``stacks_path`` as collapsed-stack text — two ``--stacks`` exports
+    are exactly what ``repro diff A.txt B.txt --flamegraph`` consumes.
     """
     if backend is not None:
         from ..backends import get_backend
@@ -270,4 +273,9 @@ def run_profile(
             obs_htmlreport.flamegraph_svg(sampler.collapsed()),
             encoding="utf-8")
         echo(f"wrote flamegraph {fpath}")
+    if sampler is not None and stacks_path is not None:
+        from . import sampler as obs_sampler
+
+        spath = obs_sampler.write_collapsed(sampler.collapsed(), stacks_path)
+        echo(f"wrote collapsed stacks {spath}")
     return 0

@@ -186,6 +186,20 @@ def collapsed_text(counts: dict[str, int]) -> str:
     return "".join(f"{stack} {n}\n" for stack, n in ordered)
 
 
+def write_collapsed(
+    counts: dict[str, int], path: "str | os.PathLike",
+) -> "pathlib.Path":
+    """Write ``counts`` as a collapsed-stack text file — the interchange
+    format ``repro diff`` and external flamegraph tooling consume
+    (``--stacks`` on bench/profile routes here)."""
+    import pathlib
+
+    p = pathlib.Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(collapsed_text(counts), encoding="utf-8")
+    return p
+
+
 def parse_collapsed(text: str) -> dict[str, int]:
     """Inverse of :func:`collapsed_text` (tests round-trip through it)."""
     counts: dict[str, int] = {}

@@ -184,8 +184,10 @@ class Tracer:
         Spans become ``"X"`` (complete) events with microsecond ``ts`` /
         ``dur``; process and thread names ride along as ``"M"`` metadata
         events so worker tracks are labeled.  Trace-context ids travel in
-        each event's ``args``; the wall-clock anchor of ``ts == 0`` is
-        ``otherData.trace_epoch_wall_us``.
+        each event's ``args`` — :func:`repro.obs.diff.spans_from_chrome`
+        reads exactly these keys to rebuild the span tree for
+        differential profiling — and the wall-clock anchor of ``ts == 0``
+        is ``otherData.trace_epoch_wall_us``.
         """
         pid = os.getpid()
         events: list[dict] = [{

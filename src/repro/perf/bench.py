@@ -236,6 +236,7 @@ def run_bench(
     metrics_path: str | os.PathLike | None = None,
     sample_interval_ms: float | None = None,
     flamegraph_path: str | os.PathLike | None = None,
+    stacks_path: str | os.PathLike | None = None,
     save: bool = False,
     history_dir: str | os.PathLike | None = None,
     echo: Callable[[str], None] = print,
@@ -258,10 +259,12 @@ def run_bench(
 
     ``sample_interval_ms`` runs the :mod:`repro.obs.sampler` wall-clock
     stack sampler over the whole bench (``--profile-sample``); the report
-    gains a ``sampler`` block with collapsed stacks, and
+    gains a ``sampler`` block with collapsed stacks,
     ``flamegraph_path`` additionally renders them as a standalone SVG
-    flamegraph.  Like tracing, sampling perturbs the timings slightly —
-    leave it off for regression comparisons.
+    flamegraph, and ``stacks_path`` exports them as collapsed-stack text
+    (the ``repro diff A.txt B.txt`` interchange format).  Like tracing,
+    sampling perturbs the timings slightly — leave it off for regression
+    comparisons.
 
     ``save=True`` appends a schema-v3 entry (git sha, machine
     fingerprint, deterministic per-figure cycles/series, wall-clock,
@@ -413,6 +416,12 @@ def run_bench(
                 obs_htmlreport.flamegraph_svg(sampler.collapsed()),
                 encoding="utf-8")
             echo(f"wrote flamegraph {fpath}")
+        if stacks_path is not None:
+            from ..obs import sampler as obs_sampler
+
+            spath = obs_sampler.write_collapsed(
+                sampler.collapsed(), stacks_path)
+            echo(f"wrote collapsed stacks {spath}")
     if not (identical_best and identical_series):
         raise AssertionError(
             "bench equivalence check failed: engine results differ from the "
