@@ -40,12 +40,22 @@ Commands
     selector (``-1``/``-2``, run-id / git-sha / fingerprint prefix).
     Prints ranked phase/span/frame/metric deltas + ledger changepoints;
     ``--flamegraph`` writes the red/blue differential flamegraph SVG.
-``chaos``
-    Run the :mod:`repro.resilience.chaos` scenarios: autotune under a
-    seeded transient-fault plan must return bit-identical winners,
-    the executor must degrade to the ``ref`` backend loudly, and
-    injected crashes at every persistence site must leave zero torn
-    files.  Exits non-zero when any invariant breaks.
+``chaos [SCENARIO ...] [--list]``
+    Run the :mod:`repro.resilience.chaos` scenarios (all, or the named
+    subset): autotune under a seeded transient-fault plan must return
+    bit-identical winners, the executor must degrade to the ``ref``
+    backend loudly, injected crashes at every persistence site must
+    leave zero torn files, and the serving layer must hold its SLO
+    under chaos.  ``--list`` prints the scenario names; an unknown name
+    exits 2 with the valid choices.  Exits non-zero when any invariant
+    breaks.
+``serve [--qps N] [--requests N] [--seed N] [--chaos] ...``
+    Replay seeded open-loop traffic through the :mod:`repro.serve`
+    simulator — SLO-aware admission control, priced dynamic batching,
+    per-backend circuit breakers with brownout fallback — entirely on a
+    virtual clock, and print (or ``--out``) the byte-stable summary.
+    ``--chaos`` adds the canned transient-fault plan and a scripted
+    primary-kill window (the CI gate scenario).
 ``flight [--run TARGET] [--dump OUT.json] [--last SECONDS]``
     Inspect the always-on flight recorder (:mod:`repro.obs.flight`) and
     export the last N seconds as a Chrome trace — after the fact, no
@@ -321,8 +331,22 @@ def cmd_report(args: argparse.Namespace) -> int:
                   f"{', '.join(known)}", file=sys.stderr)
             return 2
     if args.html:
+        import json as _json
+
         from .obs.htmlreport import write_report
 
+        serve_summary = None
+        if args.serve_summary:
+            import pathlib
+
+            try:
+                serve_summary = _json.loads(
+                    pathlib.Path(args.serve_summary).read_text(
+                        encoding="utf-8"))
+            except (OSError, ValueError) as exc:
+                print(f"cannot read serve summary "
+                      f"{args.serve_summary!r}: {exc}", file=sys.stderr)
+                return 2
         sample = None
         diff_sample = None
         if args.sample_collapsed or args.diff_collapsed:
@@ -344,6 +368,7 @@ def cmd_report(args: argparse.Namespace) -> int:
                 args.html, model=args.model, backends=backends,
                 batch=args.batch, history_dir=args.history_dir,
                 sample=sample, diff_sample=diff_sample,
+                serve_summary=serve_summary,
             )
         except ReproError as exc:
             print(f"report FAILED: {exc}", file=sys.stderr)
@@ -441,9 +466,63 @@ def cmd_diff(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    from .resilience.chaos import run_chaos
+    from .resilience.chaos import run_chaos, scenario_names
 
-    return run_chaos()
+    known = scenario_names()
+    if args.list:
+        for name in known:
+            print(name)
+        return 0
+    unknown = [n for n in args.scenario if n not in known]
+    if unknown:
+        print(f"unknown scenario {unknown[0]!r}; valid choices: "
+              f"{', '.join(known)}", file=sys.stderr)
+        return 2
+    return run_chaos(names=args.scenario or None)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .errors import ReproError
+    from .serve import ServeConfig, format_summary, run_harness, save_trace
+    from .serve.workload import SHAPES, generate_trace
+
+    if args.shape not in SHAPES:
+        print(f"unknown shape {args.shape!r}; valid choices: "
+              f"{', '.join(SHAPES)}", file=sys.stderr)
+        return 2
+    cfg = ServeConfig(
+        model=args.model, bits=args.bits,
+        backend=args.backend, fallback=args.fallback,
+        qps=args.qps, requests=args.requests, seed=args.seed,
+        shape=args.shape, slo_ms=args.slo_ms, lanes=args.lanes,
+        max_batch=args.max_batch, queue_cap=args.queue_cap,
+        hold_us=args.hold_us, retries=args.retries,
+    )
+    if args.save_trace:
+        path = save_trace(args.save_trace, generate_trace(
+            cfg.qps, cfg.requests, seed=cfg.seed, slo_us=cfg.slo_us,
+            shape=cfg.shape))
+        print(f"wrote trace {path}")
+        return 0
+    try:
+        summary = run_harness(
+            cfg, chaos=args.chaos, trace_file=args.trace_file, out=args.out)
+    except ReproError as exc:
+        print(f"serve FAILED: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        sys.stdout.write(
+            _json.dumps(summary, sort_keys=True, separators=(",", ":"))
+            + "\n")
+    else:
+        print(format_summary(summary))
+    if args.out:
+        print(f"wrote summary {args.out}",
+              file=sys.stderr if args.json else sys.stdout)
+    ok = bool(summary["invariants"]["conservation"])  # type: ignore[index]
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -577,6 +656,10 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar=("A", "B"),
                     help="two collapsed-stack files to render as a red/blue "
                          "differential flamegraph in the --html dashboard")
+    rr.add_argument("--serve-summary", default=None, metavar="FILE",
+                    help="serve summary JSON (from `serve --out`) to render "
+                         "as a serving-robustness card in the --html "
+                         "dashboard")
     rr.set_defaults(fn=cmd_report)
 
     gp = sub.add_parser(
@@ -630,11 +713,63 @@ def build_parser() -> argparse.ArgumentParser:
                     help="rows per ranked section (default 10)")
     dp.set_defaults(fn=cmd_diff)
 
-    sub.add_parser(
+    cp = sub.add_parser(
         "chaos",
         help="run the resilience chaos scenarios; non-zero exit on any "
-             "broken invariant",
-    ).set_defaults(fn=cmd_chaos)
+             "broken invariant")
+    cp.add_argument("scenario", nargs="*", metavar="SCENARIO",
+                    help="scenario name(s) to run (default: all; "
+                         "see --list)")
+    cp.add_argument("--list", action="store_true",
+                    help="print the scenario names and exit")
+    cp.set_defaults(fn=cmd_chaos)
+
+    sv = sub.add_parser(
+        "serve",
+        help="replay open-loop traffic through the SLO-guarded serving "
+             "simulator (admission control, batching, circuit breakers)")
+    sv.add_argument("--model", default="resnet50",
+                    choices=["resnet50", "scr-resnet50", "densenet121"])
+    sv.add_argument("--bits", type=int, default=4,
+                    help="quantization bit width (default 4)")
+    sv.add_argument("--backend", default="gpu",
+                    help="primary serving backend (default gpu)")
+    sv.add_argument("--fallback", default="ref",
+                    help="brownout fallback backend (default ref)")
+    sv.add_argument("--qps", type=float, default=2000.0,
+                    help="offered load, requests/second (default 2000)")
+    sv.add_argument("--requests", type=int, default=10_000,
+                    help="trace length (default 10000)")
+    sv.add_argument("--seed", type=int, default=0,
+                    help="arrival + chaos seed (default 0)")
+    sv.add_argument("--shape", default="steady",
+                    help="arrival shape: steady | burst | ramp")
+    sv.add_argument("--slo-ms", type=float, default=50.0,
+                    help="per-request latency SLO in ms (default 50)")
+    sv.add_argument("--lanes", type=int, default=2,
+                    help="parallel execution lanes (default 2)")
+    sv.add_argument("--max-batch", type=int, default=16,
+                    help="dynamic batcher cap (default 16)")
+    sv.add_argument("--queue-cap", type=int, default=256,
+                    help="bounded queue depth (default 256)")
+    sv.add_argument("--hold-us", type=float, default=500.0,
+                    help="max batch-fill hold after the head arrives "
+                         "(default 500us)")
+    sv.add_argument("--retries", type=int, default=2,
+                    help="per-batch dispatch retries (default 2)")
+    sv.add_argument("--chaos", action="store_true",
+                    help="inject the canned transient-fault plan plus a "
+                         "scripted primary-backend kill window")
+    sv.add_argument("--trace-file", default=None, metavar="IN.jsonl",
+                    help="replay this saved arrival trace instead of "
+                         "generating one")
+    sv.add_argument("--save-trace", default=None, metavar="OUT.jsonl",
+                    help="generate the arrival trace, write it, and exit")
+    sv.add_argument("--out", default=None, metavar="OUT.json",
+                    help="write the byte-stable summary JSON here")
+    sv.add_argument("--json", action="store_true",
+                    help="print the summary as canonical JSON on stdout")
+    sv.set_defaults(fn=cmd_serve)
 
     fl = sub.add_parser(
         "flight",

@@ -388,6 +388,69 @@ def _attribution_sections(
 # ---------------------------------------------------------------------------
 
 
+def _serve_sections(summary: dict) -> list[str]:
+    """The serving card: SLO/goodput tiles, counts, breaker timeline."""
+    cfg = summary.get("config", {})
+    counts = summary.get("counts", {})
+    shed = counts.get("shed", {})
+    lat = summary.get("latency_us", {})
+    brk = summary.get("breaker", {})
+    sections = [
+        "<h2>Serving &amp; overload robustness</h2>",
+        "<div class='card'>",
+        f"<p class='sub'>{_esc(str(cfg.get('model', '?')))} "
+        f"int{cfg.get('bits', '?')} on {_esc(str(cfg.get('backend', '?')))} "
+        f"(fallback {_esc(str(cfg.get('fallback', '?')))}) — "
+        f"{cfg.get('qps', '?')} qps × {cfg.get('requests', '?')} requests, "
+        f"shape {_esc(str(cfg.get('shape', '?')))}, "
+        f"SLO {cfg.get('slo_ms', '?')} ms (virtual clock).</p>",
+        "<div class='tiles'>",
+        f"<div class='tile'><div class='v'>"
+        f"{summary.get('slo_attainment', 0):.2%}</div>"
+        f"<div class='k'>SLO attainment over admitted</div></div>",
+        f"<div class='tile'><div class='v'>"
+        f"{summary.get('goodput', 0):.2%}</div>"
+        f"<div class='k'>goodput (SLO-met / offered)</div></div>",
+        f"<div class='tile'><div class='v'>"
+        f"{lat.get('p99', 0) / 1e3:.1f} ms</div>"
+        f"<div class='k'>p99 latency (p999 "
+        f"{lat.get('p999', 0) / 1e3:.1f} ms)</div></div>",
+        f"<div class='tile'><div class='v'>{brk.get('opens', 0)}"
+        f"/{brk.get('closes', 0)}</div>"
+        f"<div class='k'>breaker opens/closes "
+        f"({brk.get('probe_failures', 0)} failed probes)</div></div>",
+        "</div>",
+        _table(
+            ("offered", "admitted", "shed (deadline)", "shed (queue full)",
+             "completed", "queue expiries", "SLO met", "SLO missed",
+             "batches", "brownout", "probes"),
+            [(counts.get("offered", 0), counts.get("admitted", 0),
+              shed.get("deadline", 0), shed.get("queue_full", 0),
+              counts.get("completed", 0), counts.get("expired", 0),
+              counts.get("slo_met", 0), counts.get("slo_missed", 0),
+              counts.get("batches", 0), counts.get("brownout_batches", 0),
+              counts.get("probe_batches", 0))]),
+    ]
+    transitions = brk.get("transitions") or []
+    if transitions:
+        sections += [
+            "<details><summary>breaker timeline</summary>",
+            _table(("t (s, virtual)", "state"),
+                   [(f"{t:.3f}", _esc(str(state)))
+                    for t, state in transitions]),
+            "</details>",
+        ]
+    injected = summary.get("faults_injected") or {}
+    if injected:
+        sections.append(
+            "<p class='sub'>chaos: "
+            + ", ".join(f"{_esc(site)} ×{n}"
+                        for site, n in sorted(injected.items()))
+            + "</p>")
+    sections.append("</div>")
+    return sections
+
+
 def render_report(
     *,
     model: str = "resnet50",
@@ -396,6 +459,7 @@ def render_report(
     history_dir: str | os.PathLike | None = None,
     sample: "dict[str, int] | None" = None,
     diff_sample: "tuple[dict[str, int], dict[str, int]] | None" = None,
+    serve_summary: "dict | None" = None,
 ) -> str:
     """Build the dashboard HTML string (prices layers on each backend).
 
@@ -406,6 +470,8 @@ def render_report(
     dicts (``--diff-collapsed A B``) — adds the red/blue differential
     flamegraph.  An attribution card between the two newest comparable
     ledger runs is added automatically whenever the ledger allows it.
+    ``serve_summary`` — a parsed ``python -m repro serve --out`` summary
+    dict — adds the serving/overload-robustness card.
     """
     from .history import BenchLedger
 
@@ -488,6 +554,9 @@ def render_report(
                     for stack, n in top]),
             "</details></div>",
         ]
+
+    if serve_summary:
+        sections += _serve_sections(serve_summary)
 
     sections += _attribution_sections(all_entries, diff_sample)
 

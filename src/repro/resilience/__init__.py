@@ -55,7 +55,10 @@ from .faults import (
     maybe_corrupt,
     maybe_garbage,
 )
+from .breaker import CircuitBreaker
 from .policy import (
+    CallTimeout,
+    DeadlineExceeded,
     ExecPolicy,
     PermanentFailure,
     Quarantine,
@@ -72,6 +75,9 @@ __all__ = [
     "install_plan",
     "maybe_corrupt",
     "maybe_garbage",
+    "CallTimeout",
+    "CircuitBreaker",
+    "DeadlineExceeded",
     "ExecPolicy",
     "PermanentFailure",
     "Quarantine",

@@ -215,6 +215,11 @@ def recover_jsonl(path: "str | os.PathLike") -> int:
     torn = len(raw) - keep
     if torn == 0:
         return 0
+    # how many records (complete-but-corrupt lines plus at most one
+    # newline-less tail fragment) the truncation removes — recovery must
+    # never be silent, so both counts land in metrics alongside the log
+    removed = raw[keep:]
+    torn_records = sum(1 for seg in removed.split(b"\n") if seg.strip())
     qdir = quarantine_dir_for(path)
     try:
         qdir.mkdir(parents=True, exist_ok=True)
@@ -235,8 +240,11 @@ def recover_jsonl(path: "str | os.PathLike") -> int:
         )
         return 0
     obs_metrics.counter("files_recovered", kind="jsonl").inc()
+    obs_metrics.counter("ledger_recovered_records").inc(max(1, torn_records))
+    obs_metrics.counter("ledger_recovered_bytes").inc(torn)
     obs_log.warning(
         "jsonl_recovered", logger="repro.resilience.atomic",
-        path=str(path), torn_bytes=torn, quarantine=str(tail_file),
+        path=str(path), torn_bytes=torn, torn_records=torn_records,
+        quarantine=str(tail_file),
     )
     return torn

@@ -1,7 +1,8 @@
 """Scripted chaos scenarios behind ``python -m repro chaos``.
 
-Three scenarios exercise the resilience layer end to end, each with its
-own pass/fail verdict (the CLI exits non-zero when any check fails):
+Four scenarios exercise the resilience layer end to end, each with its
+own pass/fail verdict (the CLI exits non-zero when any check fails);
+``python -m repro chaos <name>`` runs a subset, ``--list`` enumerates:
 
 * **autotune-invariance** — a seeded fault plan makes ~30% of profile
   runs fail transiently (twice per selected candidate); with the retry
@@ -19,6 +20,12 @@ own pass/fail verdict (the CLI exits non-zero when any check fails):
   must leave *zero* torn files: every surviving cache entry parses, no
   stranded temp files, corrupt entries land in ``.quarantine/`` and
   re-miss cleanly, and a torn ledger tail is recovered on startup.
+* **serve-slo** — a short :mod:`repro.serve` replay under the serving
+  chaos plan (transient dispatch faults + a scripted primary kill): the
+  breaker must open and re-close through a half-open probe, admitted
+  requests must keep >=99% SLO attainment (overload is shed at
+  admission, not timed out in queue), request accounting must conserve,
+  and two identical replays must produce byte-identical summaries.
 
 The scenarios run against throwaway temp directories and scoped
 :func:`repro.resilience.faults.fault_plan` installs, so they never
@@ -265,21 +272,87 @@ def scenario_persistence_crash_safety() -> ScenarioResult:
 
 
 # ---------------------------------------------------------------------------
+# Scenario D: the serving layer holds its SLO under chaos
+# ---------------------------------------------------------------------------
+
+
+def scenario_serve_slo() -> ScenarioResult:
+    """A chaos serving replay keeps its SLO, breaks and heals the
+    breaker, sheds at admission, and replays byte-identically."""
+    from ..serve import CostTable, ServeConfig, run_serve, summary_digest
+    from ..serve.harness import KILL_WINDOW, chaos_spec
+
+    res = ScenarioResult("serve-slo", passed=True)
+    horizon_us = 5000 / 2000 * 1e6
+    cfg = ServeConfig(
+        qps=2000, requests=5000, seed=7,
+        kill_start_us=KILL_WINDOW[0] * horizon_us,
+        kill_end_us=KILL_WINDOW[1] * horizon_us)
+    primary = CostTable.build(
+        cfg.backend, cfg.model, bits=cfg.bits, max_batch=cfg.max_batch,
+        overhead_us=cfg.dispatch_overhead_us)
+    fallback = CostTable.build(
+        cfg.fallback, cfg.model, bits=cfg.bits, max_batch=cfg.max_batch,
+        overhead_us=cfg.dispatch_overhead_us)
+    summaries = []
+    for _ in range(2):
+        # a fresh plan per run: the firing ledger is stateful by design
+        with fault_plan(chaos_spec(cfg.backend), seed=cfg.seed):
+            summaries.append(run_serve(
+                cfg, primary_table=primary, fallback_table=fallback))
+    s = summaries[0]
+    counts = s["counts"]
+    shed = counts["shed"]["total"]
+    res.check(bool(s["invariants"]["conservation"]),
+              "request accounting conserves "
+              f"(offered {counts['offered']} = admitted {counts['admitted']}"
+              f" + shed {shed}; completed {counts['completed']}"
+              f" + expired {counts['expired']})")
+    res.check(sum(s["faults_injected"].values()) > 0,
+              f"transient faults actually fired ({s['faults_injected']})")
+    res.check(s["slo_attainment"] >= 0.99,
+              f"SLO attainment over admitted >= 99% "
+              f"({s['slo_attainment']:.4f})")
+    res.check(shed > 0 and counts["expired"] <= counts["admitted"] * 1e-3,
+              f"overload shed at admission, not in queue "
+              f"(shed {shed}, queue expiries {counts['expired']})")
+    brk = s["breaker"]
+    res.check(brk["opens"] >= 1 and brk["closes"] >= 1,
+              f"breaker opened and re-closed via probe (opens {brk['opens']},"
+              f" closes {brk['closes']}, "
+              f"probe_failures {brk['probe_failures']})")
+    res.check(summary_digest(summaries[0]) == summary_digest(summaries[1]),
+              "two identical replays are byte-identical "
+              f"(sha256 {summary_digest(summaries[0])[:12]})")
+    return res
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
-SCENARIOS = (
-    scenario_autotune_invariance,
-    scenario_executor_degradation,
-    scenario_persistence_crash_safety,
-)
+SCENARIOS = {
+    "autotune-invariance": scenario_autotune_invariance,
+    "executor-degradation": scenario_executor_degradation,
+    "persistence-crash-safety": scenario_persistence_crash_safety,
+    "serve-slo": scenario_serve_slo,
+}
 
 
-def run_chaos(echo=print) -> int:
-    """Run every scenario; 0 when all checks pass, 1 otherwise."""
+def scenario_names() -> tuple[str, ...]:
+    return tuple(SCENARIOS)
+
+
+def run_chaos(echo=print, names=None) -> int:
+    """Run the named scenarios (all by default); 0 iff every check passes.
+
+    Unknown names are the caller's bug: :class:`KeyError` — the CLI
+    validates first and exits 2 with the valid choices.
+    """
+    selected = tuple(names) if names else scenario_names()
     results = []
-    for fn in SCENARIOS:
-        result = fn()
+    for name in selected:
+        result = SCENARIOS[name]()
         results.append(result)
         echo(f"[{'PASS' if result.passed else 'FAIL'}] {result.name}")
         for line in result.checks:

@@ -19,7 +19,13 @@ simulated profile runs and other retryable unit work:
 * **permanent failure** — when every attempt fails the last error is
   re-raised wrapped in :class:`PermanentFailure`, and the caller decides:
   the autotuner quarantines the candidate and continues over survivors,
-  the executor falls back to the ``ref`` backend.
+  the executor falls back to the ``ref`` backend;
+* **deadline propagation** — an absolute ``deadline`` (on the caller's
+  ``now`` timebase, which the serving simulator points at its virtual
+  clock) caps every per-attempt timeout and every backoff sleep: a retry
+  that would outlive the caller's deadline is wasted work and is skipped,
+  raising :class:`PermanentFailure` around :class:`DeadlineExceeded`
+  immediately instead.
 
 Environment defaults (read per call, so tests can flip them):
 
@@ -78,6 +84,16 @@ class CallTimeout(ReproError):
         self.timeout_s = timeout_s
 
 
+class DeadlineExceeded(ReproError):
+    """The caller's absolute deadline passed before the call could finish
+    (or before a retry could usefully start)."""
+
+    def __init__(self, site: str, deadline: float) -> None:
+        super().__init__(f"{site!r} deadline {deadline:g} exceeded")
+        self.site = site
+        self.deadline = deadline
+
+
 def _env_float(name: str, default: float | None) -> float | None:
     text = os.environ.get(name, "").strip()
     if not text:
@@ -114,14 +130,25 @@ class ExecPolicy:
         timeout_s: float | None = None,
         backoff_s: float | None = None,
     ) -> "ExecPolicy":
-        """Explicit args > environment > defaults."""
+        """Explicit args > environment > defaults.
+
+        Every source is sanitized the same way: malformed env floats fall
+        back to the default, negative retries clamp to 0 (one attempt,
+        never zero), a zero/negative timeout means "no timeout", and a
+        negative backoff means "no backoff" — a policy built here can
+        never make :func:`call_with_policy` sleep a negative duration or
+        skip the first attempt.
+        """
+        retries = (retries if retries is not None
+                   else _env_int(RETRY_ENV, _DEFAULT_RETRIES))
+        timeout = (timeout_s if timeout_s is not None
+                   else _env_float(TIMEOUT_ENV, None))
+        backoff = (backoff_s if backoff_s is not None
+                   else _env_float(BACKOFF_ENV, _DEFAULT_BACKOFF_S))
         return cls(
-            retries=retries if retries is not None
-            else _env_int(RETRY_ENV, _DEFAULT_RETRIES),
-            timeout_s=timeout_s if timeout_s is not None
-            else _env_float(TIMEOUT_ENV, None),
-            backoff_s=backoff_s if backoff_s is not None
-            else _env_float(BACKOFF_ENV, _DEFAULT_BACKOFF_S) or 0.0,
+            retries=max(0, retries),
+            timeout_s=timeout if timeout is not None and timeout > 0 else None,
+            backoff_s=backoff if backoff is not None and backoff > 0 else 0.0,
         )
 
 
@@ -155,20 +182,44 @@ def call_with_policy(
     policy: ExecPolicy | None = None,
     retry_on: tuple[type[BaseException], ...] = (ReproError,),
     sleep: Callable[[float], None] = time.sleep,
+    deadline: float | None = None,
+    now: Callable[[], float] = time.monotonic,
 ) -> T:
     """``fn()`` under retry/timeout; raises :class:`PermanentFailure`.
 
     ``retry_on`` classifies retryable errors — anything else (e.g. a
     programming error like ``TypeError``) propagates immediately on the
     first attempt, exactly as an unguarded call would.
+
+    ``deadline`` is an *absolute* instant on the ``now`` timebase
+    (``time.monotonic`` by default; the serving simulator passes its
+    virtual clock).  When set, it caps each attempt's timeout at the time
+    remaining, caps every backoff sleep the same way, and refuses to
+    start an attempt once the deadline has passed — a retry must never
+    outlive the request that asked for it.  Running out of deadline
+    raises :class:`PermanentFailure` whose ``last`` is the prior error,
+    or :class:`DeadlineExceeded` when no attempt ever ran.
     """
     policy = policy if policy is not None else ExecPolicy.resolve()
     attempts = policy.retries + 1
     last: BaseException | None = None
+    tried = 0
     for attempt in range(attempts):
+        timeout = policy.timeout_s
+        if deadline is not None:
+            remaining = deadline - now()
+            if remaining <= 0:
+                obs_metrics.counter(
+                    "resilience_deadline_exceeded", site=site).inc()
+                if last is None:
+                    last = DeadlineExceeded(site, deadline)
+                break
+            if timeout is not None:
+                timeout = min(timeout, remaining)
+        tried += 1
         try:
-            if policy.timeout_s is not None and policy.timeout_s > 0:
-                return _run_with_timeout(fn, policy.timeout_s, site)
+            if timeout is not None and timeout > 0:
+                return _run_with_timeout(fn, timeout, site)
             return fn()
         except CallTimeout as exc:
             last = exc
@@ -176,7 +227,7 @@ def call_with_policy(
             obs_log.warning(
                 "call_timeout", logger="repro.resilience.policy",
                 site=site, key=key, attempt=attempt + 1,
-                timeout_s=policy.timeout_s,
+                timeout_s=timeout,
             )
         except retry_on as exc:
             last = exc
@@ -188,14 +239,25 @@ def call_with_policy(
                 error=type(last).__name__,
             )
             if policy.backoff_s > 0:
-                sleep(policy.backoff_s * (2 ** attempt))
+                delay = policy.backoff_s * (2 ** attempt)
+                if deadline is not None:
+                    delay = min(delay, max(0.0, deadline - now()))
+                if delay > 0:
+                    sleep(delay)
     assert last is not None
     obs_metrics.counter("resilience_permanent_failures", site=site).inc()
     obs_log.warning(
         "call_permanent_failure", logger="repro.resilience.policy",
-        site=site, key=key, attempts=attempts, error=type(last).__name__,
+        site=site, key=key, attempts=tried, error=type(last).__name__,
     )
-    raise PermanentFailure(site, key, attempts, last)
+    raise PermanentFailure(site, key, tried, last)
+
+
+@dataclass
+class _QuarantineEntry:
+    reason: str
+    since: float
+    probing: bool = False
 
 
 class Quarantine:
@@ -206,17 +268,50 @@ class Quarantine:
     on :class:`PermanentFailure`.  In-process only by design: a
     quarantined *simulated* candidate is a code bug or an injected
     fault, and pinning it across processes would mask the fix.
+
+    With no ``ttl_s`` (the default) entries are permanent for the process
+    lifetime — the right model for deterministic candidates, where a
+    repeat offender stays broken.  With ``ttl_s`` set, quarantine becomes
+    *recoverable* via the half-open protocol circuit breakers use:
+
+    * :meth:`contains` keeps answering True — expiry alone never
+      re-admits general traffic;
+    * once ``ttl_s`` has elapsed since the entry (re-)armed,
+      :meth:`allow_probe` grants exactly one caller a probe ticket;
+    * the prober reports back: :meth:`release` on success removes the
+      entry (closed again), :meth:`add` on failure re-arms the TTL and
+      clears the outstanding ticket (back to fully open).
+
+    ``now`` is the clock the TTL is measured on (``time.monotonic`` by
+    default; the serving simulator passes its virtual clock), and every
+    time-taking method also accepts an explicit ``now=`` instant.
     """
 
-    def __init__(self, site: str) -> None:
+    def __init__(
+        self,
+        site: str,
+        *,
+        ttl_s: float | None = None,
+        now: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError(f"quarantine ttl_s must be > 0, got {ttl_s}")
         self.site = site
-        self._entries: dict[str, str] = {}
+        self.ttl_s = ttl_s
+        self._now = now
+        self._entries: dict[str, _QuarantineEntry] = {}
         self._lock = threading.Lock()
 
-    def add(self, key: str, reason: str = "") -> None:
+    def _clock(self, now: float | None) -> float:
+        return self._now() if now is None else now
+
+    def add(self, key: str, reason: str = "", *, now: float | None = None) -> None:
+        """Quarantine ``key`` (re-adding re-arms the TTL and clears any
+        outstanding probe ticket — a failed probe goes back to open)."""
+        at = self._clock(now)
         with self._lock:
             fresh = key not in self._entries
-            self._entries[key] = reason
+            self._entries[key] = _QuarantineEntry(reason=reason, since=at)
         if fresh:
             obs_metrics.counter("resilience_quarantined", site=self.site).inc()
             obs_log.warning(
@@ -228,9 +323,53 @@ class Quarantine:
         with self._lock:
             return key in self._entries
 
+    def allow_probe(self, key: str, now: float | None = None) -> bool:
+        """One half-open probe ticket for ``key`` once the TTL elapsed.
+
+        Returns True at most once per (re-)arming: the first caller after
+        expiry gets the ticket, everyone else keeps seeing False until
+        the prober settles the entry via :meth:`release` (success) or
+        :meth:`add` (failure, re-arms).  Always False without a TTL or
+        for keys not quarantined.
+        """
+        if self.ttl_s is None:
+            return False
+        at = self._clock(now)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.probing or at - entry.since < self.ttl_s:
+                return False
+            entry.probing = True
+        obs_metrics.counter("resilience_probes", site=self.site).inc()
+        obs_log.info(
+            "quarantine_probe", logger="repro.resilience.policy",
+            site=self.site, key=key,
+        )
+        return True
+
+    def probing(self, key: str) -> bool:
+        """True while a probe ticket for ``key`` is outstanding."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and entry.probing
+
+    def release(self, key: str) -> bool:
+        """Remove ``key`` from quarantine (probe succeeded); True if it
+        was present."""
+        with self._lock:
+            removed = self._entries.pop(key, None) is not None
+        if removed:
+            obs_metrics.counter(
+                "resilience_quarantine_released", site=self.site).inc()
+            obs_log.info(
+                "quarantine_released", logger="repro.resilience.policy",
+                site=self.site, key=key,
+            )
+        return removed
+
     def entries(self) -> dict[str, str]:
         with self._lock:
-            return dict(self._entries)
+            return {k: e.reason for k, e in self._entries.items()}
 
     def clear(self) -> None:
         with self._lock:

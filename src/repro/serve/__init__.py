@@ -1,0 +1,44 @@
+"""SLO-guarded inference serving over the priced backends.
+
+The repo's cost models price a convolution; this package prices a
+*service*: a simulated serving layer that takes open-loop traffic
+against the quantized-network backends and keeps its latency SLO under
+overload and faults, using the same cycle curves the paper's figures are
+built from.
+
+* :mod:`.clock`    — the virtual clock everything runs on
+* :mod:`.workload` — seeded open-loop traces (steady/burst/ramp) + JSONL
+* :mod:`.cost`     — per-batch service-time tables from ``price_conv``
+* :mod:`.server`   — the discrete-event simulator: admission control,
+  dynamic batching, circuit breaking, brownout fallback
+* :mod:`.harness`  — the ``python -m repro serve`` entry: chaos plan,
+  kill window, byte-stable summary JSON
+
+Everything is deterministic by construction: virtual time, seeded
+arrivals, seeded faults — two identical invocations produce
+byte-identical summaries, which is what lets CI gate on a hash.
+"""
+
+from .clock import ClockError, VirtualClock
+from .cost import CostTable
+from .harness import chaos_spec, format_summary, run_harness, summary_digest
+from .server import BackendDown, ServeConfig, ServeSim, run_serve
+from .workload import Request, generate_trace, load_trace, save_trace
+
+__all__ = [
+    "BackendDown",
+    "ClockError",
+    "CostTable",
+    "Request",
+    "ServeConfig",
+    "ServeSim",
+    "VirtualClock",
+    "chaos_spec",
+    "format_summary",
+    "generate_trace",
+    "load_trace",
+    "run_harness",
+    "run_serve",
+    "save_trace",
+    "summary_digest",
+]

@@ -1,0 +1,140 @@
+"""Load-generator harness behind ``python -m repro serve``.
+
+Composes the pieces: price the primary and fallback cost tables, build
+(or load) the arrival trace, optionally install the canned chaos plan +
+scripted kill window, run the :class:`~.server.ServeSim`, and publish a
+byte-stable summary JSON via :func:`atomic_write_json`.
+
+Chaos mode (``--chaos``) is the CI scenario the acceptance gates watch:
+
+* a transient fault plan ``serve.backend.<primary>:raise:0.3:1`` seeded
+  with the run seed — ~30% of primary batch dispatches eat exactly one
+  injected failure (retry absorbs it at the price of detection+backoff);
+* a scripted hard kill of the primary across 40%..60% of the nominal
+  horizon — every attempt fails, the breaker opens, traffic browns out
+  to the fallback table, and the half-open probe re-admits the primary
+  once the window passes.
+
+Determinism contract: the summary contains only virtual-clock
+quantities, counts, and the config echo — no wall time, no paths — and
+is serialized with sorted keys, so two identical invocations produce
+byte-identical files (the CI gate hashes them).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional
+
+from ..obs import log as obs_log
+from ..resilience import faults
+from ..resilience.atomic import atomic_write_json
+from .cost import CostTable
+from .server import ServeConfig, run_serve
+from .workload import Request, load_trace
+
+#: chaos transient-fault rate on primary batch dispatches
+CHAOS_RATE = 0.3
+#: scripted kill window as fractions of the nominal horizon
+KILL_WINDOW = (0.40, 0.60)
+
+
+def chaos_spec(backend: str) -> str:
+    """The canned transient-fault plan for ``--chaos`` runs."""
+    return f"serve.backend.{backend}:raise:{CHAOS_RATE}:1"
+
+
+def run_harness(
+    config: ServeConfig,
+    *,
+    chaos: bool = False,
+    trace_file: "str | pathlib.Path | None" = None,
+    out: "str | pathlib.Path | None" = None,
+) -> Dict[str, object]:
+    """One full serving run; returns the summary dict (and writes it
+    to ``out`` when given)."""
+    cfg = config
+    if chaos and cfg.kill_start_us is None:
+        horizon_us = cfg.requests / cfg.qps * 1e6
+        cfg = ServeConfig(**{
+            **cfg.echo(),  # type: ignore[arg-type]
+            "kill_start_us": KILL_WINDOW[0] * horizon_us,
+            "kill_end_us": KILL_WINDOW[1] * horizon_us,
+        })
+
+    trace: Optional[List[Request]] = None
+    if trace_file is not None:
+        trace = load_trace(trace_file)
+
+    primary = CostTable.build(
+        cfg.backend, cfg.model, bits=cfg.bits, max_batch=cfg.max_batch,
+        overhead_us=cfg.dispatch_overhead_us)
+    fallback = CostTable.build(
+        cfg.fallback, cfg.model, bits=cfg.bits, max_batch=cfg.max_batch,
+        overhead_us=cfg.dispatch_overhead_us)
+
+    if chaos:
+        with faults.fault_plan(chaos_spec(cfg.backend), seed=cfg.seed):
+            summary = run_serve(
+                cfg, primary_table=primary, fallback_table=fallback,
+                trace=trace)
+    else:
+        summary = run_serve(
+            cfg, primary_table=primary, fallback_table=fallback, trace=trace)
+
+    obs_log.info(
+        "serve_run_done", logger="repro.serve.harness",
+        offered=summary["counts"]["offered"],  # type: ignore[index]
+        goodput=summary["goodput"], chaos=chaos,
+    )
+    if out is not None:
+        atomic_write_json(
+            out, summary, site="serve.summary",
+            sort_keys=True, separators=(",", ":"))
+    return summary
+
+
+def format_summary(summary: Dict[str, object]) -> str:
+    """Human-facing one-screen report of a serving run."""
+    c = summary["counts"]  # type: ignore[assignment]
+    lat = summary["latency_us"]  # type: ignore[assignment]
+    brk = summary["breaker"]  # type: ignore[assignment]
+    cfg = summary["config"]  # type: ignore[assignment]
+    lines = [
+        f"serve: {cfg['model']} int{cfg['bits']} on {cfg['backend']} "
+        f"(fallback {cfg['fallback']}), {cfg['qps']:g} qps x "
+        f"{cfg['requests']} requests, shape={cfg['shape']}, "
+        f"slo={cfg['slo_ms']:g}ms",
+        f"  offered {c['offered']}  admitted {c['admitted']}  "
+        f"shed {c['shed']['total']} "
+        f"(deadline {c['shed']['deadline']}, "
+        f"queue_full {c['shed']['queue_full']})",
+        f"  completed {c['completed']}  expired {c['expired']}  "
+        f"slo_met {c['slo_met']}  slo_missed {c['slo_missed']}",
+        f"  goodput {summary['goodput']:.4f}  "
+        f"slo_attainment {summary['slo_attainment']:.4f}",
+        f"  latency_us p50 {lat['p50']:.1f}  p90 {lat['p90']:.1f}  "
+        f"p99 {lat['p99']:.1f}  p999 {lat['p999']:.1f}  max {lat['max']:.1f}",
+        f"  batches {c['batches']} (brownout {c['brownout_batches']}, "
+        f"probe {c['probe_batches']})  queue_peak {summary['queue_peak']}",
+        f"  breaker opens {brk['opens']}  closes {brk['closes']}  "
+        f"probe_failures {brk['probe_failures']}",
+    ]
+    injected = summary.get("faults_injected") or {}
+    if injected:
+        lines.append("  faults injected: " + ", ".join(
+            f"{site}={n}" for site, n in injected.items()))
+    inv = summary["invariants"]  # type: ignore[assignment]
+    lines.append(
+        f"  invariants: conservation={'ok' if inv['conservation'] else 'VIOLATED'}"
+        f"  virtual_end={inv['clock_end_us'] / 1e6:.3f}s")
+    return "\n".join(lines)
+
+
+def summary_digest(summary: Dict[str, object]) -> str:
+    """The canonical bytes the determinism gate hashes."""
+    import hashlib
+
+    blob = json.dumps(summary, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

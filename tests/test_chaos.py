@@ -184,4 +184,26 @@ def test_scenario_persistence_crash_safety_passes():
 def test_run_chaos_exit_codes(capsys):
     assert run_chaos() == 0
     out = capsys.readouterr().out
-    assert out.count("[PASS]") == 3 and "[FAIL]" not in out
+    assert out.count("[PASS]") == 4 and "[FAIL]" not in out
+
+
+def test_run_chaos_named_subset(capsys):
+    assert run_chaos(names=["executor-degradation"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("[PASS]") == 1
+    assert "executor-degradation" in out
+
+
+def test_scenario_names_listing():
+    from repro.resilience.chaos import scenario_names
+
+    names = scenario_names()
+    assert "autotune-invariance" in names
+    assert "serve-slo" in names
+
+
+def test_scenario_serve_slo_passes():
+    from repro.resilience.chaos import scenario_serve_slo
+
+    result = scenario_serve_slo()
+    assert result.passed, result.checks

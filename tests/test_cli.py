@@ -164,6 +164,83 @@ def test_chaos_command_registered():
     assert args.command == "chaos"
 
 
+def test_chaos_list_prints_scenarios(capsys):
+    assert main(["chaos", "--list"]) == 0
+    out = capsys.readouterr().out.splitlines()
+    assert "autotune-invariance" in out and "serve-slo" in out
+
+
+def test_chaos_unknown_scenario_exits_two(capsys):
+    assert main(["chaos", "not-a-scenario"]) == 2
+    err = capsys.readouterr().err
+    # one line, lists the valid choices, no traceback
+    assert err.count("\n") == 1
+    assert "not-a-scenario" in err and "serve-slo" in err
+    assert "Traceback" not in err
+
+
+def test_serve_smoke_and_summary_out(tmp_path, capsys):
+    out = tmp_path / "serve.json"
+    assert main(["serve", "--qps", "2000", "--requests", "300",
+                 "--seed", "5", "--out", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "offered 300" in text and "slo_attainment" in text
+    import json
+
+    summary = json.loads(out.read_text())
+    assert summary["schema"] == "repro.serve.summary/v1"
+    assert summary["counts"]["offered"] == 300
+    assert summary["invariants"]["conservation"] is True
+
+
+def test_serve_json_output_is_canonical(capsys):
+    assert main(["serve", "--qps", "2000", "--requests", "200",
+                 "--seed", "5", "--json"]) == 0
+    import json
+
+    line = capsys.readouterr().out.strip()
+    summary = json.loads(line)
+    assert line == json.dumps(summary, sort_keys=True,
+                              separators=(",", ":"))
+
+
+def test_serve_trace_save_and_replay(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    assert main(["serve", "--qps", "1000", "--requests", "100",
+                 "--seed", "2", "--save-trace", str(trace)]) == 0
+    assert trace.exists()
+    capsys.readouterr()
+    assert main(["serve", "--trace-file", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "offered 100" in out
+
+
+def test_serve_unknown_shape_exits_two(capsys):
+    assert main(["serve", "--shape", "sawtooth"]) == 2
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1
+    assert "sawtooth" in err and "steady" in err
+
+
+def test_report_html_serve_summary_card(tmp_path, capsys):
+    summary_path = tmp_path / "serve.json"
+    assert main(["serve", "--qps", "2000", "--requests", "200",
+                 "--seed", "5", "--out", str(summary_path)]) == 0
+    capsys.readouterr()
+    html = tmp_path / "dash.html"
+    assert main(["report", "--html", str(html), "--backend", "gpu",
+                 "--serve-summary", str(summary_path)]) == 0
+    text = html.read_text()
+    assert "Serving &amp; overload robustness" in text
+    assert "SLO attainment" in text
+
+
+def test_report_serve_summary_unreadable_exits_two(tmp_path, capsys):
+    assert main(["report", "--html", str(tmp_path / "x.html"),
+                 "--serve-summary", str(tmp_path / "missing.json")]) == 2
+    assert "cannot read serve summary" in capsys.readouterr().err
+
+
 def test_bad_command():
     with pytest.raises(SystemExit):
         main(["not-a-command"])

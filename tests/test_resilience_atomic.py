@@ -106,6 +106,46 @@ def test_recover_truncates_torn_tail_and_keeps_specimen(tmp_path):
     assert specimens[0].read_bytes() == b'{"torn": tr'
 
 
+def test_recover_counts_bytes_and_records_in_metrics(tmp_path):
+    from repro.obs import metrics as obs_metrics
+
+    obs_metrics.reset()
+    path = tmp_path / "log.jsonl"
+    atomic_append_line(path, '{"ok": 1}')
+    with open(path, "ab") as fh:
+        fh.write(b'{"torn": tr')  # kill -9 mid-append
+    torn = recover_jsonl(path)
+    assert torn == len(b'{"torn": tr')
+    snap = obs_metrics.snapshot()["counters"]
+    assert snap["ledger_recovered_bytes"] == torn
+    assert snap["ledger_recovered_records"] == 1
+    # a second recovery on another file accumulates
+    other = tmp_path / "log2.jsonl"
+    atomic_append_line(other, '{"ok": 2}')
+    with open(other, "ab") as fh:
+        fh.write(b'{"bad": json}\n')  # corrupt *complete* final line
+    assert recover_jsonl(other) == len(b'{"bad": json}\n')
+    snap = obs_metrics.snapshot()["counters"]
+    assert snap["ledger_recovered_records"] == 2
+    obs_metrics.reset()
+
+
+def test_recover_metric_floors_at_one_record(tmp_path):
+    """Even a pure-whitespace torn tail counts as one recovered record:
+    recovery that touched the file must never report zero."""
+    from repro.obs import metrics as obs_metrics
+
+    obs_metrics.reset()
+    path = tmp_path / "log.jsonl"
+    atomic_append_line(path, '{"ok": 1}')
+    with open(path, "ab") as fh:
+        fh.write(b"   ")  # whitespace fragment, no newline
+    assert recover_jsonl(path) == 3
+    snap = obs_metrics.snapshot()["counters"]
+    assert snap["ledger_recovered_records"] == 1
+    obs_metrics.reset()
+
+
 def test_recover_unparseable_final_line_with_newline(tmp_path):
     """A corrupt *complete* final line is also a crash signature (e.g. a
     corrupt-rule write): recovered, earlier lines kept."""

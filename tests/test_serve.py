@@ -1,0 +1,283 @@
+"""Serving-layer invariants: clock, workload, cost tables, the simulator.
+
+The acceptance bar (ISSUE 10): request accounting conserves
+(offered == admitted + shed, admitted == completed + expired), batches
+never exceed the cap, the virtual clock never runs backwards, and a
+seeded replay is byte-identical across runs — including under the chaos
+plan with a scripted primary kill (breaker opens, traffic browns out to
+the fallback, a half-open probe re-admits the primary).
+
+Simulator tests run on hand-built cost tables so they price nothing and
+finish in milliseconds; one test prices a real (ref-backend) table to
+cover :meth:`CostTable.build`.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.resilience.faults import fault_plan
+from repro.serve import (
+    ClockError,
+    CostTable,
+    Request,
+    ServeConfig,
+    VirtualClock,
+    generate_trace,
+    load_trace,
+    run_serve,
+    save_trace,
+    summary_digest,
+)
+
+# ---------------------------------------------------------------------------
+# Virtual clock
+# ---------------------------------------------------------------------------
+
+
+def test_clock_advances_and_never_backwards():
+    clk = VirtualClock()
+    clk.advance_to_us(100.0)
+    clk.advance_us(50.0)
+    assert clk.now_us == 150.0
+    assert clk.now_s() == pytest.approx(150e-6)
+    with pytest.raises(ClockError):
+        clk.advance_to_us(149.0)
+    with pytest.raises(ClockError):
+        clk.advance_us(-1.0)
+    clk.advance_to_us(150.0)  # equal is fine (no-op)
+    assert clk.now_us == 150.0
+
+
+def test_clock_fork_is_independent():
+    clk = VirtualClock(1000.0)
+    lane = clk.fork()
+    lane.sleep_s(0.001)
+    assert lane.now_us == pytest.approx(2000.0)
+    assert clk.now_us == 1000.0  # the global timeline did not move
+
+
+# ---------------------------------------------------------------------------
+# Workload generation
+# ---------------------------------------------------------------------------
+
+
+def test_trace_is_seeded_sorted_and_sized():
+    a = generate_trace(1000, 500, seed=7, slo_us=10_000)
+    b = generate_trace(1000, 500, seed=7, slo_us=10_000)
+    c = generate_trace(1000, 500, seed=8, slo_us=10_000)
+    assert a == b  # pure function of the arguments
+    assert a != c
+    assert len(a) == 500
+    arrivals = [r.arrival_us for r in a]
+    assert arrivals == sorted(arrivals)
+    assert all(r.deadline_us == r.arrival_us + 10_000 for r in a)
+
+
+def test_burst_shape_concentrates_arrivals():
+    steady = generate_trace(1000, 4000, seed=1, shape="steady")
+    burst = generate_trace(1000, 4000, seed=1, shape="burst")
+    horizon = 4000 / 1000 * 1e6
+
+    def in_window(trace):
+        return sum(1 for r in trace
+                   if 0.45 * horizon <= r.arrival_us < 0.60 * horizon)
+
+    # the burst window holds ~3x the steady density of arrivals
+    assert in_window(burst) > 2 * in_window(steady)
+
+
+def test_bad_workload_arguments():
+    with pytest.raises(ReproError):
+        generate_trace(0, 10)
+    with pytest.raises(ReproError):
+        generate_trace(100, -1)
+    with pytest.raises(ReproError):
+        generate_trace(100, 10, shape="sawtooth")
+
+
+def test_trace_roundtrip_and_validation(tmp_path):
+    trace = generate_trace(2000, 100, seed=3)
+    path = save_trace(tmp_path / "t.jsonl", trace)
+    assert load_trace(path) == trace
+    # unsorted arrivals are rejected
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text(
+        json.dumps({"rid": 0, "arrival_us": 100.0, "slo_us": 1.0}) + "\n" +
+        json.dumps({"rid": 1, "arrival_us": 50.0, "slo_us": 1.0}) + "\n")
+    with pytest.raises(ReproError):
+        load_trace(bad)
+    # missing fields are rejected with a line number
+    bad.write_text('{"rid": 0}\n')
+    with pytest.raises(ReproError, match="bad.jsonl:1"):
+        load_trace(bad)
+    with pytest.raises(ReproError):
+        load_trace(tmp_path / "absent.jsonl")
+
+
+# ---------------------------------------------------------------------------
+# Cost tables
+# ---------------------------------------------------------------------------
+
+
+def make_table(backend="prim", per_batch=(200.0, 250.0, 280.0, 300.0),
+               overhead=10.0):
+    return CostTable(backend=backend, model="toy", bits=4,
+                     service_us=tuple(per_batch), overhead_us=overhead)
+
+
+def test_cost_table_views():
+    t = make_table()
+    assert t.max_batch == 4
+    assert t.service(1) == pytest.approx(210.0)
+    assert t.service(4) == pytest.approx(310.0)
+    assert t.per_image(4) == pytest.approx(310.0 / 4)
+    assert t.best_batch() == 4  # amortization wins
+    assert t.best_batch(cap=2) == 2
+    with pytest.raises(ReproError):
+        t.service(0)
+    with pytest.raises(ReproError):
+        t.service(5)
+
+
+def test_cost_table_build_prices_a_real_backend():
+    t = CostTable.build("ref", "resnet50", bits=4, max_batch=2,
+                        overhead_us=5.0)
+    assert t.max_batch == 2
+    assert t.service(1) > 0
+    # the ref cost model is linear in batch: no amortization, so batch 1
+    # (lowest per-image including overhead share...) — just sanity-check
+    # monotonicity of the absolute service time
+    assert t.service(2) > t.service(1)
+
+
+# ---------------------------------------------------------------------------
+# The simulator
+# ---------------------------------------------------------------------------
+
+#: primary: strongly batch-amortizing (per-image 210 -> 77.5 us)
+PRIMARY = make_table("prim")
+#: fallback: flat and ~20x slower — a brownout-grade degraded service
+FALLBACK = make_table("fb", per_batch=(5000.0, 10_000.0, 15_000.0, 20_000.0),
+                      overhead=10.0)
+
+
+def make_config(**kw):
+    base = dict(
+        backend="prim", fallback="fb", qps=5000.0, requests=2000,
+        seed=11, slo_ms=20.0, lanes=2, max_batch=4, queue_cap=64,
+        hold_us=300.0, retries=2, backoff_ms=0.1, fault_detect_us=100.0,
+        breaker_threshold=3, breaker_open_ms=50.0)
+    base.update(kw)
+    return ServeConfig(**base)
+
+
+def run(cfg, **kw):
+    return run_serve(cfg, primary_table=PRIMARY, fallback_table=FALLBACK,
+                     **kw)
+
+
+def test_conservation_invariant_clean_run():
+    s = run(make_config())
+    c = s["counts"]
+    assert c["offered"] == 2000
+    assert c["offered"] == c["admitted"] + c["shed"]["total"]
+    assert c["admitted"] == c["completed"] + c["expired"]
+    assert s["invariants"]["conservation"] is True
+    # a clean run on a fast primary sheds nothing and meets every SLO
+    assert c["shed"]["total"] == 0 and c["slo_missed"] == 0
+    assert s["slo_attainment"] == 1.0
+
+
+def test_batches_never_exceed_the_cap():
+    s = run(make_config(max_batch=3))
+    sizes = [int(k) for k in s["batch_hist"]]
+    assert sizes and max(sizes) <= 3
+    assert sum(s["batch_hist"].values()) == s["counts"]["batches"]
+    # batch-size histogram accounts for every completed request
+    total = sum(int(k) * v for k, v in s["batch_hist"].items())
+    assert total == s["counts"]["completed"]
+
+
+def test_virtual_clock_covers_the_whole_trace():
+    s = run(make_config())
+    assert s["invariants"]["clock_end_us"] >= s["workload"]["horizon_us"]
+
+
+def test_seeded_replay_is_byte_identical():
+    a = run(make_config())
+    b = run(make_config())
+    ja = json.dumps(a, sort_keys=True)
+    jb = json.dumps(b, sort_keys=True)
+    assert ja == jb
+    assert summary_digest(a) == summary_digest(b)
+
+
+def test_bounded_queue_sheds_on_queue_full():
+    # huge SLO disables deadline shedding; a glacial primary backs the
+    # queue up against its cap instead
+    slow = make_table("prim", per_batch=(100_000.0,) * 4, overhead=0.0)
+    cfg = make_config(qps=10_000.0, requests=300, slo_ms=10_000.0,
+                      queue_cap=8, lanes=1)
+    s = run_serve(cfg, primary_table=slow, fallback_table=FALLBACK)
+    c = s["counts"]
+    assert c["shed"]["queue_full"] > 0
+    assert s["queue_peak"] <= 8
+    assert c["offered"] == c["admitted"] + c["shed"]["total"]
+
+
+def test_deadline_shedding_rejects_at_admission():
+    # tight SLO + slow primary: most requests are priced out on arrival
+    slow = make_table("prim", per_batch=(15_000.0,) * 4, overhead=0.0)
+    cfg = make_config(qps=2000.0, requests=500, slo_ms=20.0, lanes=1)
+    s = run_serve(cfg, primary_table=slow, fallback_table=FALLBACK)
+    c = s["counts"]
+    assert c["shed"]["deadline"] > 0
+    # shed at the front door, not starved in the queue
+    assert c["expired"] == 0
+    # whatever was admitted was served within its SLO
+    assert s["slo_attainment"] == 1.0
+
+
+def test_kill_window_trips_breaker_and_browns_out():
+    cfg = make_config(
+        requests=3000,
+        kill_start_us=0.4 * 3000 / 5000 * 1e6,
+        kill_end_us=0.6 * 3000 / 5000 * 1e6)
+    s = run(cfg)
+    brk = s["breaker"]
+    assert brk["opens"] >= 1  # the kill tripped it
+    assert brk["closes"] >= 1  # the probe re-admitted the primary
+    assert s["counts"]["brownout_batches"] > 0
+    assert s["counts"]["probe_batches"] >= 1
+    states = [st for _, st in brk["transitions"]]
+    assert states[0] == "open" and states[-1] == "closed"
+    assert "half_open" in states
+    # degraded, not broken: accounting still conserves, and no admitted
+    # request starved in the queue
+    assert s["invariants"]["conservation"] is True
+    assert s["counts"]["expired"] <= s["counts"]["admitted"] * 1e-3
+
+
+def test_chaos_replay_is_deterministic_with_faults():
+    from repro.serve.harness import chaos_spec
+
+    cfg = make_config(
+        requests=2000,
+        kill_start_us=0.4 * 2000 / 5000 * 1e6,
+        kill_end_us=0.6 * 2000 / 5000 * 1e6)
+    summaries = []
+    for _ in range(2):
+        with fault_plan(chaos_spec(cfg.backend), seed=cfg.seed):
+            summaries.append(run(cfg))
+    assert summary_digest(summaries[0]) == summary_digest(summaries[1])
+    injected = summaries[0]["faults_injected"]
+    assert sum(injected.values()) > 0
+    assert all(site.startswith("serve.backend.prim")
+               for site in injected)
+
+
+def test_request_dataclass_deadline():
+    r = Request(rid=1, arrival_us=100.0, slo_us=50.0)
+    assert r.deadline_us == 150.0
